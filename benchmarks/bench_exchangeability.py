@@ -1,0 +1,54 @@
+"""Table 1's "Scale-Exch." column (Section 5.5, Appendix C): scale-epsilon
+exchangeability.
+
+For each algorithm, compares the scaled error at (scale, epsilon) pairs with a
+common product.  Exchangeable algorithms produce (statistically) equal errors;
+SF — the one algorithm the paper proves non-exchangeable — is included for
+contrast, although the paper notes it empirically behaves exchangeably.
+"""
+
+import numpy as np
+
+from repro import exchangeability_ratio, make_algorithm
+from repro.core.suite import full_mode
+from repro.data import power_law_shape
+
+from _shared import SEED, format_table, report, run_once
+
+ALGORITHMS = ["Identity", "Hb", "GreedyH", "Uniform", "MWEM", "DAWA", "AHP", "PHP", "EFPA", "SF"]
+
+
+def build_exchangeability_table():
+    domain = 256 if not full_mode() else 1024
+    trials = 10 if not full_mode() else 30
+    shape = power_law_shape(domain, alpha=1.2, rng=SEED)
+    product = 2000.0
+    pairs = [(int(product / 1.0), 1.0), (int(product / 0.1), 0.1)]
+    rows = []
+    for name in ALGORITHMS:
+        algorithm = make_algorithm(name)
+        expected = algorithm.properties.scale_epsilon_exchangeable
+        result = exchangeability_ratio(algorithm, shape, pairs, n_trials=trials, rng=SEED)
+        errors = list(result["errors"].values())
+        rows.append({
+            "algorithm": name,
+            "paper_exchangeable": expected,
+            "log10_error_lowscale_higheps": float(np.log10(errors[0])),
+            "log10_error_highscale_loweps": float(np.log10(errors[1])),
+            "max_over_min_ratio": result["max_over_min"],
+        })
+    return rows
+
+
+def test_exchangeability(benchmark):
+    rows = run_once(benchmark, build_exchangeability_table)
+    report("exchangeability", "Table 1: scale-epsilon exchangeability",
+           format_table(rows, floatfmt="{:.2f}"))
+    # Every algorithm the paper proves exchangeable should show a modest ratio.
+    for row in rows:
+        if row["paper_exchangeable"] and row["algorithm"] != "SF":
+            assert row["max_over_min_ratio"] < 2.5
+
+
+if __name__ == "__main__":
+    print(format_table(build_exchangeability_table(), floatfmt="{:.2f}"))

@@ -1,0 +1,62 @@
+"""Figure 1a: 1-D error versus scale (domain 4096, Prefix workload, eps=0.1).
+
+For every algorithm and every scale, reports the per-dataset scaled L2 error
+range (min / mean / max over datasets, i.e. the spread of black dots and the
+white diamond of the figure), plus how the best data-dependent algorithm
+compares to the best data-independent one (Findings 1 and 2).
+"""
+
+import numpy as np
+
+from repro.core import DATA_INDEPENDENT
+
+from _shared import format_table, report, results_1d, run_once
+
+
+def build_figure1a():
+    results = results_1d().successful()
+    rows = []
+    for scale in results.scales():
+        subset = results.filter(scale=scale)
+        for algorithm in subset.algorithms():
+            per_dataset = [r.summary.mean for r in subset.filter(algorithm=algorithm)]
+            rows.append({
+                "scale": scale,
+                "algorithm": algorithm,
+                "log10_mean_error": float(np.log10(np.mean(per_dataset))),
+                "log10_min": float(np.log10(np.min(per_dataset))),
+                "log10_max": float(np.log10(np.max(per_dataset))),
+                "datasets": len(per_dataset),
+            })
+    return rows
+
+
+def summarize_findings(rows):
+    lines = []
+    for scale in sorted({row["scale"] for row in rows}):
+        at_scale = [row for row in rows if row["scale"] == scale]
+        independent = [r for r in at_scale if r["algorithm"] in DATA_INDEPENDENT]
+        dependent = [r for r in at_scale if r["algorithm"] not in DATA_INDEPENDENT]
+        best_ind = min(independent, key=lambda r: r["log10_mean_error"])
+        best_dep = min(dependent, key=lambda r: r["log10_mean_error"])
+        advantage = 10 ** (best_ind["log10_mean_error"] - best_dep["log10_mean_error"])
+        lines.append(
+            f"scale=1e{int(np.log10(scale))}: best data-independent = "
+            f"{best_ind['algorithm']}, best data-dependent = {best_dep['algorithm']}, "
+            f"data-dependent advantage = {advantage:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_fig1a_error_vs_scale_1d(benchmark):
+    rows = run_once(benchmark, build_figure1a)
+    text = format_table(rows, floatfmt="{:.2f}")
+    text += "\n\nFindings 1-2 summary (who wins at each scale):\n" + summarize_findings(rows)
+    report("fig1a_1d_scale", "Figure 1a: 1-D error vs scale (eps=0.1, Prefix)", text)
+    assert rows, "the 1-D study produced no results"
+
+
+if __name__ == "__main__":
+    rows = build_figure1a()
+    print(format_table(rows, floatfmt="{:.2f}"))
+    print(summarize_findings(rows))

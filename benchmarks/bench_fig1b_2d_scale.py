@@ -1,0 +1,60 @@
+"""Figure 1b: 2-D error versus scale (domain 128x128, 2000 random range
+queries, eps=0.1).
+
+Same structure as Figure 1a for the 2-D study.
+"""
+
+import numpy as np
+
+from repro.core import DATA_INDEPENDENT
+
+from _shared import format_table, report, results_2d, run_once
+
+
+def build_figure1b():
+    results = results_2d().successful()
+    rows = []
+    for scale in results.scales():
+        subset = results.filter(scale=scale)
+        for algorithm in subset.algorithms():
+            per_dataset = [r.summary.mean for r in subset.filter(algorithm=algorithm)]
+            rows.append({
+                "scale": scale,
+                "algorithm": algorithm,
+                "log10_mean_error": float(np.log10(np.mean(per_dataset))),
+                "log10_min": float(np.log10(np.min(per_dataset))),
+                "log10_max": float(np.log10(np.max(per_dataset))),
+                "datasets": len(per_dataset),
+            })
+    return rows
+
+
+def summarize_findings(rows):
+    lines = []
+    for scale in sorted({row["scale"] for row in rows}):
+        at_scale = [row for row in rows if row["scale"] == scale]
+        independent = [r for r in at_scale if r["algorithm"] in DATA_INDEPENDENT]
+        dependent = [r for r in at_scale if r["algorithm"] not in DATA_INDEPENDENT]
+        best_ind = min(independent, key=lambda r: r["log10_mean_error"])
+        best_dep = min(dependent, key=lambda r: r["log10_mean_error"])
+        advantage = 10 ** (best_ind["log10_mean_error"] - best_dep["log10_mean_error"])
+        lines.append(
+            f"scale=1e{int(np.log10(scale))}: best data-independent = "
+            f"{best_ind['algorithm']}, best data-dependent = {best_dep['algorithm']}, "
+            f"data-dependent advantage = {advantage:.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def test_fig1b_error_vs_scale_2d(benchmark):
+    rows = run_once(benchmark, build_figure1b)
+    text = format_table(rows, floatfmt="{:.2f}")
+    text += "\n\nFindings 1-2 summary (who wins at each scale):\n" + summarize_findings(rows)
+    report("fig1b_2d_scale", "Figure 1b: 2-D error vs scale (eps=0.1, random ranges)", text)
+    assert rows, "the 2-D study produced no results"
+
+
+if __name__ == "__main__":
+    rows = build_figure1b()
+    print(format_table(rows, floatfmt="{:.2f}"))
+    print(summarize_findings(rows))

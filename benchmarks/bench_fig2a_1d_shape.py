@@ -1,0 +1,65 @@
+"""Figure 2a: 1-D error by dataset shape (smallest scale, eps=0.1).
+
+Reports, for every 1-D dataset at the smallest scale, the scaled error of the
+baselines plus the competitive data-dependent algorithms — the content of the
+per-dataset panels of Figure 2a (Finding 3: error varies strongly with shape,
+and different algorithms win on different shapes).
+"""
+
+import numpy as np
+
+from _shared import format_table, report, results_1d, run_once
+
+#: The algorithms plotted in the paper's Figure 2a.
+FIG2A_ALGORITHMS = ["Uniform", "Identity", "Hb", "DAWA", "EFPA", "MWEM", "MWEM*", "PHP"]
+
+
+def build_figure2a():
+    results = results_1d().successful()
+    smallest_scale = min(results.scales())
+    subset = results.filter(scale=smallest_scale)
+    rows = []
+    for dataset in subset.datasets():
+        row = {"dataset": dataset, "scale": smallest_scale}
+        best_name, best_value = None, np.inf
+        for algorithm in FIG2A_ALGORITHMS:
+            records = subset.filter(dataset=dataset, algorithm=algorithm).records
+            if not records:
+                continue
+            value = records[0].summary.mean
+            row[algorithm] = float(np.log10(value))
+            if value < best_value:
+                best_name, best_value = algorithm, value
+        row["winner"] = best_name
+        rows.append(row)
+    return rows
+
+
+def shape_variation_summary(rows):
+    lines = []
+    for algorithm in FIG2A_ALGORITHMS:
+        values = [10 ** row[algorithm] for row in rows if algorithm in row]
+        if not values:
+            continue
+        lines.append(
+            f"{algorithm}: error varies {max(values) / min(values):.1f}x across dataset shapes"
+        )
+    winners = {}
+    for row in rows:
+        winners[row["winner"]] = winners.get(row["winner"], 0) + 1
+    lines.append(f"distinct winners across shapes: {sorted(winners)}")
+    return "\n".join(lines)
+
+
+def test_fig2a_error_by_shape_1d(benchmark):
+    rows = run_once(benchmark, build_figure2a)
+    text = format_table(rows, floatfmt="{:.2f}")
+    text += "\n\nFinding 3 summary:\n" + shape_variation_summary(rows)
+    report("fig2a_1d_shape", "Figure 2a: 1-D error by shape (smallest scale)", text)
+    assert len(rows) == len(results_1d().successful().datasets())
+
+
+if __name__ == "__main__":
+    rows = build_figure2a()
+    print(format_table(rows, floatfmt="{:.2f}"))
+    print(shape_variation_summary(rows))

@@ -1,0 +1,43 @@
+"""Figure 2b: 2-D error by dataset shape (scale 1e4, eps=0.1).
+
+Reports the per-dataset error of the baselines, Hb, DAWA and AGrid — the
+algorithms shown in the paper's Figure 2b — at the smallest 2-D scale.
+"""
+
+import numpy as np
+
+from _shared import format_table, report, results_2d, run_once
+
+FIG2B_ALGORITHMS = ["Uniform", "Identity", "Hb", "DAWA", "AGrid"]
+
+
+def build_figure2b():
+    results = results_2d().successful()
+    smallest_scale = min(results.scales())
+    subset = results.filter(scale=smallest_scale)
+    rows = []
+    for dataset in subset.datasets():
+        row = {"dataset": dataset, "scale": smallest_scale}
+        best_name, best_value = None, np.inf
+        for algorithm in FIG2B_ALGORITHMS:
+            records = subset.filter(dataset=dataset, algorithm=algorithm).records
+            if not records:
+                continue
+            value = records[0].summary.mean
+            row[algorithm] = float(np.log10(value))
+            if value < best_value:
+                best_name, best_value = algorithm, value
+        row["winner"] = best_name
+        rows.append(row)
+    return rows
+
+
+def test_fig2b_error_by_shape_2d(benchmark):
+    rows = run_once(benchmark, build_figure2b)
+    report("fig2b_2d_shape", "Figure 2b: 2-D error by shape (smallest scale)",
+           format_table(rows, floatfmt="{:.2f}"))
+    assert len(rows) == len(results_2d().successful().datasets())
+
+
+if __name__ == "__main__":
+    print(format_table(build_figure2b(), floatfmt="{:.2f}"))

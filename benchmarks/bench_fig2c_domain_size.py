@@ -1,0 +1,88 @@
+"""Figure 2c: 2-D error versus domain size (Finding 4).
+
+For two dataset shapes (ADULT-2D and BJ-CABS-E) at two scales, sweeps the 2-D
+domain size and reports the error of Identity, Hb (data-independent; error
+should grow with domain size) and AGrid / DAWA (data-dependent; error should
+be flat or grow slowly), reproducing the panels of Figure 2c.
+
+This bench runs its own sweep rather than the shared study because it varies
+the domain size.  The reduced grid uses domains 16x16 .. 128x128; the paper's
+32x32 .. 256x256 grid is used under ``DPBENCH_FULL=1``.
+"""
+
+import numpy as np
+
+from repro import benchmark_2d
+from repro.core.suite import full_mode
+
+from _shared import SEED, format_table, report, run_once
+
+DATASETS = ["ADULT-2D", "BJ-CABS-E"]
+ALGORITHMS = ["Identity", "Hb", "AGrid", "DAWA"]
+
+
+def domain_sizes():
+    if full_mode():
+        return [(32, 32), (64, 64), (128, 128), (256, 256)]
+    return [(16, 16), (32, 32), (64, 64), (128, 128)]
+
+
+def scales():
+    return [10 ** 4, 10 ** 6]
+
+
+def build_figure2c():
+    bench = benchmark_2d(
+        datasets=DATASETS,
+        algorithms=ALGORITHMS,
+        scales=scales(),
+        domain_shapes=domain_sizes(),
+        n_data_samples=1,
+        n_trials=2 if not full_mode() else 10,
+    )
+    results = bench.run(rng=SEED).successful()
+    rows = []
+    for dataset in DATASETS:
+        for scale in scales():
+            for domain in domain_sizes():
+                row = {"dataset": dataset, "scale": scale,
+                       "domain": f"{domain[0]}x{domain[1]}"}
+                for algorithm in ALGORITHMS:
+                    records = results.filter(dataset=dataset, scale=scale,
+                                             domain_shape=domain, algorithm=algorithm).records
+                    if records:
+                        row[algorithm] = float(np.log10(records[0].summary.mean))
+                rows.append(row)
+    return rows
+
+
+def finding4_summary(rows):
+    """Quantify how each algorithm's error moves with domain size."""
+    lines = []
+    for algorithm in ALGORITHMS:
+        growth = []
+        for dataset in DATASETS:
+            for scale in scales():
+                series = [row[algorithm] for row in rows
+                          if row["dataset"] == dataset and row["scale"] == scale
+                          and algorithm in row]
+                if len(series) >= 2:
+                    growth.append(series[-1] - series[0])
+        if growth:
+            lines.append(f"{algorithm}: mean log10-error change from smallest to largest "
+                         f"domain = {np.mean(growth):+.2f}")
+    return "\n".join(lines)
+
+
+def test_fig2c_domain_size(benchmark):
+    rows = run_once(benchmark, build_figure2c)
+    text = format_table(rows, floatfmt="{:.2f}")
+    text += "\n\nFinding 4 summary (error growth with domain size):\n" + finding4_summary(rows)
+    report("fig2c_domain_size", "Figure 2c: 2-D error vs domain size", text)
+    assert rows
+
+
+if __name__ == "__main__":
+    rows = build_figure2c()
+    print(format_table(rows, floatfmt="{:.2f}"))
+    print(finding4_summary(rows))

@@ -1,0 +1,49 @@
+"""Finding 5 (regret) and Finding 10 (comparison to baselines).
+
+* Regret: the geometric-mean ratio between each algorithm's error and the
+  per-setting oracle error.  The paper reports DAWA as the lowest-regret 1-D
+  algorithm (1.32) with Hb next (1.51), and DAWA (1.73) ahead of AGrid (1.90)
+  in 2-D.
+* Baselines: the fraction of datasets, per scale, on which each algorithm
+  beats IDENTITY and UNIFORM.
+"""
+
+from repro import baseline_comparison, regret
+
+from _shared import format_table, report, results_1d, results_2d, run_once
+
+
+def build_regret():
+    rows_1d = [{"task": "1D", "algorithm": name, "regret": value}
+               for name, value in sorted(regret(results_1d()).items(), key=lambda kv: kv[1])]
+    rows_2d = [{"task": "2D", "algorithm": name, "regret": value}
+               for name, value in sorted(regret(results_2d()).items(), key=lambda kv: kv[1])]
+    return rows_1d + rows_2d
+
+
+def build_baseline_comparison():
+    rows = []
+    for task, results in (("1D", results_1d()), ("2D", results_2d())):
+        for row in baseline_comparison(results):
+            rows.append({"task": task, **row})
+    return rows
+
+
+def test_regret(benchmark):
+    rows = run_once(benchmark, build_regret)
+    report("regret", "Finding 5: regret relative to the per-setting oracle",
+           format_table(rows, floatfmt="{:.2f}"))
+    assert rows
+
+
+def test_baseline_comparison(benchmark):
+    rows = run_once(benchmark, build_baseline_comparison)
+    report("baseline_comparison",
+           "Finding 10: fraction of datasets beating the Identity/Uniform baselines",
+           format_table(rows, floatfmt="{:.2f}"))
+    assert rows
+
+
+if __name__ == "__main__":
+    print(format_table(build_regret(), floatfmt="{:.2f}"))
+    print(format_table(build_baseline_comparison(), floatfmt="{:.2f}"))

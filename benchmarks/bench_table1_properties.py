@@ -1,0 +1,62 @@
+"""Table 1: algorithms evaluated in the benchmark and their properties.
+
+Regenerates the property columns (dimensionality, hierarchical/partitioning
+strategy, parameters, side information, consistency, scale-epsilon
+exchangeability) from algorithm metadata, and backs the two analysis columns
+with quick empirical spot-checks (a consistent and an inconsistent algorithm,
+an exchangeable one).
+"""
+
+import numpy as np
+
+from repro import check_consistency, check_exchangeability, make_algorithm, table1_rows
+from repro.data import power_law_shape
+
+from _shared import format_table, report, run_once
+
+
+def build_table1():
+    rows = []
+    for row in table1_rows(include_extras=False):
+        parameters = ", ".join(f"{k}={v}" for k, v in row["parameters"].items() if v is not None)
+        rows.append({
+            "algorithm": row["algorithm"],
+            "class": "data-dependent" if row["data_dependent"] else "data-independent",
+            "H": "x" if row["hierarchical"] else "",
+            "P": "x" if row["partitioning"] else "",
+            "dimension": row["dimension"],
+            "parameters": parameters or "-",
+            "free": ", ".join(row["free_parameters"]) or "-",
+            "side_info": ", ".join(row["side_information"]) or "-",
+            "consistent": "yes" if row["consistent"] else "no",
+            "scale_exch": "yes" if row["scale_epsilon_exchangeable"] else "no",
+        })
+    return rows
+
+
+def empirical_spot_checks():
+    """Cheap empirical confirmation of the analysis columns."""
+    rng = 0
+    x = np.rint(power_law_shape(64, rng=rng) * 5000)
+    checks = [
+        ("Identity consistent", check_consistency(make_algorithm("Identity"), x, rng=rng)),
+        ("PHP inconsistent", not check_consistency(make_algorithm("PHP"), x, rng=rng)),
+        ("Uniform inconsistent", not check_consistency(make_algorithm("Uniform"), x, rng=rng)),
+        ("Identity scale-eps exchangeable",
+         check_exchangeability(make_algorithm("Identity"), power_law_shape(64, rng=rng),
+                               n_trials=20, rng=rng)),
+    ]
+    return [{"check": name, "holds": bool(result)} for name, result in checks]
+
+
+def test_table1_properties(benchmark):
+    rows = run_once(benchmark, build_table1)
+    text = format_table(rows)
+    text += "\n\nEmpirical spot checks:\n" + format_table(empirical_spot_checks())
+    report("table1_properties", "Table 1: algorithm properties", text)
+    assert len(rows) == 18
+
+
+if __name__ == "__main__":
+    print(format_table(build_table1()))
+    print(format_table(empirical_spot_checks()))

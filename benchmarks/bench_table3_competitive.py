@@ -1,0 +1,63 @@
+"""Tables 3a and 3b: the number of datasets on which each algorithm is
+competitive, per scale (Finding 5).
+
+Competitiveness follows the paper's definition: lowest mean error, or mean
+error not statistically distinguishable from the lowest (unpaired t-tests with
+Bonferroni-corrected alpha).  Both the risk-neutral (mean) and risk-averse
+(95th percentile) variants are reported.
+"""
+
+from repro import competitive_counts
+
+from _shared import format_table, report, results_1d, results_2d, run_once
+
+
+def _counts_to_rows(counts: dict) -> list[dict]:
+    algorithms = sorted({name for per_scale in counts.values() for name in per_scale})
+    rows = []
+    for algorithm in algorithms:
+        row = {"algorithm": algorithm}
+        for scale in sorted(counts):
+            row[f"scale 1e{len(str(int(scale))) - 1}"] = counts[scale].get(algorithm, 0)
+        row["total"] = sum(counts[scale].get(algorithm, 0) for scale in counts)
+        rows.append(row)
+    rows.sort(key=lambda r: -r["total"])
+    return rows
+
+
+def build_table3a():
+    return {
+        "mean": _counts_to_rows(competitive_counts(results_1d(), measure="mean")),
+        "p95": _counts_to_rows(competitive_counts(results_1d(), measure="p95")),
+    }
+
+
+def build_table3b():
+    return {
+        "mean": _counts_to_rows(competitive_counts(results_2d(), measure="mean")),
+        "p95": _counts_to_rows(competitive_counts(results_2d(), measure="p95")),
+    }
+
+
+def test_table3a_competitive_1d(benchmark):
+    tables = run_once(benchmark, build_table3a)
+    text = ("Risk-neutral analyst (mean error):\n" + format_table(tables["mean"])
+            + "\n\nRisk-averse analyst (95th-percentile error):\n" + format_table(tables["p95"]))
+    report("table3a_competitive_1d",
+           "Table 3a: datasets on which each 1-D algorithm is competitive", text)
+    assert tables["mean"]
+
+
+def test_table3b_competitive_2d(benchmark):
+    tables = run_once(benchmark, build_table3b)
+    text = ("Risk-neutral analyst (mean error):\n" + format_table(tables["mean"])
+            + "\n\nRisk-averse analyst (95th-percentile error):\n" + format_table(tables["p95"]))
+    report("table3b_competitive_2d",
+           "Table 3b: datasets on which each 2-D algorithm is competitive", text)
+    assert tables["mean"]
+
+
+if __name__ == "__main__":
+    for title, tables in (("Table 3a (1D)", build_table3a()), ("Table 3b (2D)", build_table3b())):
+        print(title)
+        print(format_table(tables["mean"]))

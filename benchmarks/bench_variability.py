@@ -1,0 +1,58 @@
+"""Finding 8 (Section 7.4): measurement of variability.
+
+Reports, per scale, how often the algorithm with the lowest mean error differs
+from the algorithm with the lowest 95th-percentile error — the situations
+where a risk-averse analyst would choose differently from a risk-neutral one —
+plus the per-algorithm error variability (p95 / mean ratio).
+"""
+
+import numpy as np
+
+from repro import mean_vs_p95_disagreements
+
+from _shared import format_table, report, results_1d, results_2d, run_once
+
+
+def build_disagreements():
+    rows = []
+    for task, results in (("1D", results_1d()), ("2D", results_2d())):
+        for row in mean_vs_p95_disagreements(results):
+            rows.append({"task": task, **row})
+    return rows
+
+
+def build_variability_profile():
+    """Average p95/mean ratio per algorithm: how volatile is each algorithm?"""
+    rows = []
+    for task, results in (("1D", results_1d()), ("2D", results_2d())):
+        for algorithm in results.successful().algorithms():
+            ratios = []
+            for record in results.successful().filter(algorithm=algorithm):
+                summary = record.summary
+                if summary.mean > 0:
+                    ratios.append(summary.percentile95 / summary.mean)
+            rows.append({
+                "task": task,
+                "algorithm": algorithm,
+                "mean_p95_over_mean": float(np.mean(ratios)),
+                "settings": len(ratios),
+            })
+    rows.sort(key=lambda r: (r["task"], -r["mean_p95_over_mean"]))
+    return rows
+
+
+def test_finding8_variability(benchmark):
+    disagreements = run_once(benchmark, build_disagreements)
+    profile = build_variability_profile()
+    text = ("Settings where the best-by-mean algorithm is not best-by-p95 "
+            f"(count = {len(disagreements)}):\n")
+    text += format_table(disagreements) if disagreements else "(none in the reduced grid)"
+    text += "\n\nPer-algorithm volatility (95th percentile / mean error):\n"
+    text += format_table(profile, floatfmt="{:.2f}")
+    report("finding8_variability", "Finding 8: risk-averse algorithm evaluation", text)
+    assert profile
+
+
+if __name__ == "__main__":
+    print(format_table(build_disagreements()))
+    print(format_table(build_variability_profile(), floatfmt="{:.2f}"))

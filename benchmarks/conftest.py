@@ -1,0 +1,12 @@
+"""Pytest configuration for the benchmark suite.
+
+Ensures the benchmarks directory is importable (for ``_shared``) regardless of
+how pytest was invoked.
+"""
+
+import sys
+from pathlib import Path
+
+BENCH_DIR = str(Path(__file__).resolve().parent)
+if BENCH_DIR not in sys.path:
+    sys.path.insert(0, BENCH_DIR)

@@ -1,0 +1,79 @@
+"""Scenario: a census agency releasing a private salary histogram.
+
+This example walks the full pipeline the paper's data model describes
+(Section 2.2): a relation of individual records -> discretised histogram ->
+differentially private release -> range-query answering, including the
+algorithm-selection question the paper poses (Section 8's lessons for
+practitioners): pick a data-independent algorithm in a high-signal regime and
+a data-dependent one in a low-signal regime.
+
+Run with:  python examples/census_1d_release.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+from repro.data import Attribute, Relation, histogram
+
+
+def build_salary_relation(n_employees: int, rng: np.random.Generator) -> Relation:
+    """Synthesise an employee relation (salary in dollars, department id)."""
+    # Salaries: a lognormal body plus a small high-earner tail.
+    salaries = rng.lognormal(mean=10.8, sigma=0.4, size=n_employees)
+    tail = rng.random(n_employees) < 0.02
+    salaries[tail] *= rng.uniform(3, 8, size=tail.sum())
+    departments = rng.integers(0, 12, size=n_employees)
+    return Relation({"salary": salaries, "department": departments})
+
+
+def release(dataset, workload, algorithm_name: str, epsilon: float,
+            rng: np.random.Generator) -> float:
+    algorithm = repro.make_algorithm(algorithm_name)
+    estimate = algorithm.run(dataset.counts, epsilon, workload=workload, rng=rng)
+    truth = workload.evaluate(dataset.counts)
+    return repro.scaled_average_per_query_error(
+        truth, workload.evaluate(estimate), dataset.scale)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # --- the private relation ---------------------------------------------------
+    relation = build_salary_relation(n_employees=250_000, rng=rng)
+    salary_attribute = Attribute("salary", low=0, high=400_000, bins=2048)
+    dataset = histogram(relation, [salary_attribute], name="CENSUS-SALARY")
+    print(f"relation rows={len(relation):,} -> histogram domain={dataset.domain_shape}, "
+          f"scale={dataset.scale:,.0f}")
+
+    # --- the analyst's workload: salary-bracket range queries -------------------
+    workload = repro.prefix_workload(2048)
+
+    # --- the practitioner's decision: which algorithm, at which signal level? ---
+    print("\nscaled per-query error by algorithm and privacy budget:")
+    print(f"{'epsilon':>8s}  " + "  ".join(f"{n:>9s}" for n in
+                                           ["Identity", "Hb", "DAWA", "AHP*", "Uniform"]))
+    for epsilon in (0.01, 0.1, 1.0):
+        errors = [release(dataset, workload, name, epsilon, rng)
+                  for name in ["Identity", "Hb", "DAWA", "AHP*", "Uniform"]]
+        print(f"{epsilon:8.2f}  " + "  ".join(f"{e:9.2e}" for e in errors))
+
+    print(
+        "\nLesson (Section 8 of the paper): at high signal (large scale and/or\n"
+        "epsilon) the simple data-independent methods Identity/Hb are already\n"
+        "near-optimal and easy to reason about; data-dependent algorithms such\n"
+        "as DAWA pay off in the low-signal regime, at the cost of shape-dependent\n"
+        "and harder-to-predict error."
+    )
+
+    # --- a filtered sub-population (new shape, same pipeline) --------------------
+    engineering = relation.filter(relation.column("department") < 3)
+    filtered = histogram(engineering, [salary_attribute], name="CENSUS-SALARY-ENG")
+    error = release(filtered, workload, "DAWA", 0.1, rng)
+    print(f"\nfiltered sub-population ({len(engineering):,} rows): DAWA error at eps=0.1 "
+          f"is {error:.2e}")
+
+
+if __name__ == "__main__":
+    main()

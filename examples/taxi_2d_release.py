@@ -1,0 +1,63 @@
+"""Scenario: releasing a private 2-D spatial density map of taxi pick-ups.
+
+Demonstrates the 2-D side of the benchmark: a clustered spatial dataset, the
+random-range-query workload, the grid-based algorithms designed for geospatial
+data (UGrid / AGrid), and the effect of domain resolution on the choice of
+algorithm (Finding 4 of the paper).
+
+Run with:  python examples/taxi_2d_release.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+import repro
+
+
+def error_of(name: str, dataset, workload, epsilon: float, rng) -> float:
+    estimate = repro.make_algorithm(name).run(dataset.counts, epsilon,
+                                              workload=workload, rng=rng)
+    truth = workload.evaluate(dataset.counts)
+    return repro.scaled_average_per_query_error(
+        truth, workload.evaluate(estimate), dataset.scale)
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    epsilon = 0.1
+    algorithms = ["Identity", "Hb", "UGrid", "AGrid", "DAWA", "QuadTree"]
+
+    source = repro.load_dataset("BJ-CABS-S")      # Beijing taxi pick-up locations
+    print(f"dataset={source.name}  scale={source.scale:,.0f}  "
+          f"max domain={source.domain_shape}")
+
+    # The paper's Finding 4: domain size affects data-independent and
+    # data-dependent algorithms differently.  Sweep the grid resolution.
+    print(f"\nscaled per-query error at eps={epsilon} by domain resolution:")
+    header = f"{'domain':>10s}  " + "  ".join(f"{name:>9s}" for name in algorithms)
+    print(header)
+    for side in (32, 64, 128):
+        dataset = source.coarsen((side, side))
+        workload = repro.random_range_workload((side, side), n_queries=1000, rng=rng)
+        errors = [error_of(name, dataset, workload, epsilon, rng) for name in algorithms]
+        print(f"{side:>7d}^2  " + "  ".join(f"{e:9.2e}" for e in errors))
+
+    # Scale matters as much as resolution: re-sample the same shape at small scale
+    # with the DPBench data generator and watch the ranking flip.
+    generator = repro.DataGenerator(source)
+    small = generator.generate(10_000, (64, 64), rng=rng)
+    workload = repro.random_range_workload((64, 64), n_queries=1000, rng=rng)
+    print("\nsame shape, scale reduced to 10,000 records (low-signal regime):")
+    for name in algorithms:
+        print(f"  {name:10s} {error_of(name, small, workload, epsilon, rng):.2e}")
+
+    print(
+        "\nAt full scale the data-independent hierarchy (Hb) and the adaptive grid\n"
+        "are close; at small scale the data-dependent methods pull ahead, which is\n"
+        "exactly the scale-dependence DPBench is designed to expose."
+    )
+
+
+if __name__ == "__main__":
+    main()

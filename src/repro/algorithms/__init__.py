@@ -1,0 +1,62 @@
+"""Differentially private release algorithms evaluated by DPBench.
+
+The module exposes the DP primitives, the shared substrates (hierarchies,
+wavelets, Hilbert curves, inference) and all algorithms from Table 1 of the
+paper plus the HybridTree extra.
+"""
+
+from .base import Algorithm, AlgorithmProperties
+from .mechanisms import (
+    BudgetExceededError,
+    PrivacyBudget,
+    as_rng,
+    exponential_mechanism,
+    geometric_mechanism,
+    laplace_mechanism,
+    laplace_noise,
+)
+from .identity import Identity
+from .uniform import Uniform
+from .privelet import Privelet
+from .hier import HierarchicalH, HierarchicalHb
+from .greedy_h import GreedyH
+from .mwem import MWEM, MWEMStar
+from .ahp import AHP, AHPStar
+from .dawa import DAWA
+from .dpcube import DPCube
+from .php import PHP
+from .efpa import EFPA
+from .sf import StructureFirst
+from .quadtree import HybridTree, QuadTree
+from .grids import AGrid, UGrid
+
+__all__ = [
+    "Algorithm",
+    "AlgorithmProperties",
+    "PrivacyBudget",
+    "BudgetExceededError",
+    "as_rng",
+    "laplace_noise",
+    "laplace_mechanism",
+    "geometric_mechanism",
+    "exponential_mechanism",
+    "Identity",
+    "Uniform",
+    "Privelet",
+    "HierarchicalH",
+    "HierarchicalHb",
+    "GreedyH",
+    "MWEM",
+    "MWEMStar",
+    "AHP",
+    "AHPStar",
+    "DAWA",
+    "DPCube",
+    "PHP",
+    "EFPA",
+    "StructureFirst",
+    "QuadTree",
+    "HybridTree",
+    "UGrid",
+    "AGrid",
+]

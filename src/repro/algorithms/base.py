@@ -1,0 +1,159 @@
+"""Base classes shared by every differentially private algorithm.
+
+Every algorithm in the benchmark consumes a count array ``x`` (1-D or 2-D),
+a privacy budget ``epsilon`` and (optionally) the workload of range queries,
+and produces an estimate ``x_hat`` of the same shape.  Workload answers are
+then obtained by summing cells of ``x_hat``, exactly as in the paper.
+
+Algorithm metadata (supported dimensionality, free parameters, use of side
+information, consistency, scale-epsilon exchangeability) mirrors Table 1 and
+drives both the registry and the Table 1 reproduction bench.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..workload.rangequery import Workload
+from .mechanisms import as_rng
+
+__all__ = ["Algorithm", "AlgorithmProperties", "validate_input"]
+
+
+@dataclass(frozen=True)
+class AlgorithmProperties:
+    """Static properties of an algorithm, mirroring Table 1 of the paper."""
+
+    name: str
+    supported_dims: tuple[int, ...]
+    data_dependent: bool
+    hierarchical: bool = False
+    partitioning: bool = False
+    workload_aware: bool = False
+    parameters: dict = field(default_factory=dict)
+    free_parameters: tuple[str, ...] = ()
+    side_information: tuple[str, ...] = ()
+    consistent: bool = True
+    scale_epsilon_exchangeable: bool = True
+    reference: str = ""
+
+    def as_row(self) -> dict:
+        """Dictionary form used by the Table 1 bench."""
+        return {
+            "algorithm": self.name,
+            "dimension": "Multi-D" if len(self.supported_dims) > 1 else f"{self.supported_dims[0]}D",
+            "data_dependent": self.data_dependent,
+            "hierarchical": self.hierarchical,
+            "partitioning": self.partitioning,
+            "parameters": dict(self.parameters),
+            "free_parameters": list(self.free_parameters),
+            "side_information": list(self.side_information),
+            "consistent": self.consistent,
+            "scale_epsilon_exchangeable": self.scale_epsilon_exchangeable,
+        }
+
+
+def validate_input(x: np.ndarray, epsilon: float, supported_dims: tuple[int, ...]) -> np.ndarray:
+    """Validate and normalise an input count array.
+
+    Returns a float copy of ``x``; raises ``ValueError`` on negative counts,
+    unsupported dimensionality, or a non-positive epsilon.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim not in supported_dims:
+        raise ValueError(
+            f"input has dimensionality {x.ndim}, supported: {supported_dims}"
+        )
+    if x.size == 0:
+        raise ValueError("input data vector is empty")
+    if np.any(x < 0):
+        raise ValueError("input counts must be non-negative")
+    if not np.isfinite(x).all():
+        raise ValueError("input counts must be finite")
+    if epsilon <= 0:
+        raise ValueError(f"epsilon must be positive, got {epsilon}")
+    return x.copy()
+
+
+class Algorithm(ABC):
+    """Abstract base class for all private release algorithms.
+
+    Subclasses implement :meth:`_run` and declare a class-level
+    :attr:`properties` object.  The public entry point :meth:`run` performs
+    input validation, seeds the random generator and dispatches to
+    :meth:`_run`.
+    """
+
+    properties: AlgorithmProperties
+
+    def __init__(self, **overrides):
+        # Parameter overrides allow the tuning machinery (Rparam) to
+        # instantiate an algorithm with learned parameter values.
+        self.params = dict(self.properties.parameters)
+        unknown = set(overrides) - set(self.params)
+        if unknown:
+            raise ValueError(
+                f"{self.name} does not accept parameters {sorted(unknown)}; "
+                f"known parameters: {sorted(self.params)}"
+            )
+        self.params.update(overrides)
+
+    # -- metadata ----------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self.properties.name
+
+    @property
+    def is_data_dependent(self) -> bool:
+        return self.properties.data_dependent
+
+    def supports(self, ndim: int) -> bool:
+        return ndim in self.properties.supported_dims
+
+    # -- execution ----------------------------------------------------------------
+    def run(
+        self,
+        x: np.ndarray,
+        epsilon: float,
+        workload: Workload | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> np.ndarray:
+        """Produce a private estimate of the count array ``x``.
+
+        Parameters
+        ----------
+        x:
+            The true count array (1-D or 2-D, non-negative).
+        epsilon:
+            Total privacy budget for this invocation.
+        workload:
+            The range-query workload; workload-aware algorithms (GreedyH,
+            MWEM, DAWA) consult it, others ignore it.
+        rng:
+            Random generator or seed; ``None`` draws a fresh seed.
+        """
+        x = validate_input(x, epsilon, self.properties.supported_dims)
+        rng = as_rng(rng)
+        x_hat = self._run(x, float(epsilon), workload, rng)
+        x_hat = np.asarray(x_hat, dtype=float)
+        if x_hat.shape != x.shape:
+            raise RuntimeError(
+                f"{self.name} returned shape {x_hat.shape}, expected {x.shape}"
+            )
+        return x_hat
+
+    @abstractmethod
+    def _run(
+        self,
+        x: np.ndarray,
+        epsilon: float,
+        workload: Workload | None,
+        rng: np.random.Generator,
+    ) -> np.ndarray:
+        """Algorithm-specific implementation; must return an array shaped like ``x``."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.params})"

@@ -1,0 +1,99 @@
+"""Hierarchical data-independent algorithms H and Hb.
+
+H (Hay et al., PVLDB 2010) measures noisy totals of every node of a binary
+(or b-ary) tree over the domain with a uniform per-level budget and then
+enforces consistency via least squares.  Hb (Qardaji et al., PVLDB 2013) is
+the same algorithm with the branching factor chosen to minimise the average
+range-query variance for the given domain size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workload.rangequery import Workload
+from .base import Algorithm, AlgorithmProperties
+from .inference import tree_least_squares
+from .mechanisms import laplace_noise
+from .tree import HierarchicalTree, optimal_branching
+
+__all__ = ["HierarchicalH", "HierarchicalHb", "run_hierarchical"]
+
+
+def run_hierarchical(
+    x: np.ndarray,
+    epsilon: float,
+    tree: HierarchicalTree,
+    level_epsilons: np.ndarray,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Measure every tree node with its level's budget and return consistent
+    cell estimates.
+
+    ``level_epsilons`` holds the per-level budget; a level with zero budget is
+    left unmeasured.  The total budget spent is ``sum(level_epsilons)`` because
+    the levels partition the domain, so by sequential composition the result is
+    ``sum(level_epsilons)``-differentially private.
+    """
+    level_epsilons = np.asarray(level_epsilons, dtype=float)
+    if level_epsilons.size != tree.n_levels:
+        raise ValueError("need one epsilon per tree level")
+    if level_epsilons.sum() > epsilon * (1 + 1e-9):
+        raise ValueError("per-level budgets exceed the total epsilon")
+
+    true_totals = tree.node_totals(x)
+    measurements = np.full(len(tree.nodes), np.nan)
+    variances = np.full(len(tree.nodes), np.inf)
+    for idx, node in enumerate(tree.nodes):
+        eps_level = level_epsilons[node.level]
+        if eps_level <= 0:
+            continue
+        scale = 1.0 / eps_level
+        measurements[idx] = true_totals[idx] + float(laplace_noise(scale, (), rng))
+        variances[idx] = 2.0 * scale ** 2
+
+    consistent = tree_least_squares(tree, measurements, variances)
+
+    estimate = np.zeros(x.shape)
+    for node in tree.leaves():
+        estimate[node.slices()] = consistent[node.index] / node.size
+    return estimate
+
+
+class HierarchicalH(Algorithm):
+    """H: b-ary hierarchy with uniform per-level budget and consistency."""
+
+    properties = AlgorithmProperties(
+        name="H",
+        supported_dims=(1,),
+        data_dependent=False,
+        hierarchical=True,
+        parameters={"branching": 2},
+        reference="Hay, Rastogi, Miklau, Suciu. PVLDB 2010",
+    )
+
+    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
+             rng: np.random.Generator) -> np.ndarray:
+        tree = HierarchicalTree(x.shape, branching=int(self.params["branching"]))
+        level_epsilons = np.full(tree.n_levels, epsilon / tree.n_levels)
+        return run_hierarchical(x, epsilon, tree, level_epsilons, rng)
+
+
+class HierarchicalHb(Algorithm):
+    """Hb: H with the branching factor optimised for the domain size."""
+
+    properties = AlgorithmProperties(
+        name="Hb",
+        supported_dims=(1, 2),
+        data_dependent=False,
+        hierarchical=True,
+        reference="Qardaji, Yang, Li. PVLDB 2013",
+    )
+
+    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
+             rng: np.random.Generator) -> np.ndarray:
+        side = max(x.shape)
+        branching = optimal_branching(side)
+        tree = HierarchicalTree(x.shape, branching=branching)
+        level_epsilons = np.full(tree.n_levels, epsilon / tree.n_levels)
+        return run_hierarchical(x, epsilon, tree, level_epsilons, rng)

@@ -1,0 +1,82 @@
+"""Hilbert space-filling curve for mapping 2-D domains to 1-D.
+
+DAWA and GreedyH are one-dimensional algorithms; the paper runs them on 2-D
+data by flattening the grid along a Hilbert curve, which preserves locality so
+that 2-D clusters stay contiguous in the 1-D ordering.  This module provides
+the forward/backward index maps for square power-of-two grids and a
+row-major fall-back for everything else.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["hilbert_order", "flatten_2d", "unflatten_2d"]
+
+
+def _d2xy(order: int, d: int) -> tuple[int, int]:
+    """Convert a distance along the Hilbert curve to (x, y) on a 2^order grid."""
+    rx = ry = 0
+    x = y = 0
+    t = d
+    s = 1
+    n = 1 << order
+    while s < n:
+        rx = 1 & (t // 2)
+        ry = 1 & (t ^ rx)
+        # rotate quadrant
+        if ry == 0:
+            if rx == 1:
+                x = s - 1 - x
+                y = s - 1 - y
+            x, y = y, x
+        x += s * rx
+        y += s * ry
+        t //= 4
+        s *= 2
+    return x, y
+
+
+def hilbert_order(side: int) -> np.ndarray:
+    """Return the (row, col) visiting order of a Hilbert curve over a
+    ``side x side`` grid, as an array of flat row-major indices.
+
+    ``side`` must be a power of two; callers with other shapes should use the
+    row-major fall-back in :func:`flatten_2d`.
+    """
+    if side < 1 or (side & (side - 1)) != 0:
+        raise ValueError("side must be a positive power of two")
+    order = int(np.log2(side)) if side > 1 else 0
+    indices = np.empty(side * side, dtype=np.intp)
+    for d in range(side * side):
+        x, y = _d2xy(order, d)
+        indices[d] = x * side + y
+    return indices
+
+
+def _ordering_for(shape: tuple[int, int]) -> np.ndarray:
+    rows, cols = shape
+    if rows == cols and rows >= 1 and (rows & (rows - 1)) == 0:
+        return hilbert_order(rows)
+    return np.arange(rows * cols, dtype=np.intp)
+
+
+def flatten_2d(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Flatten a 2-D array into 1-D along a Hilbert curve.
+
+    Returns the flattened vector and the ordering (flat row-major indices in
+    curve order) needed to invert the operation with :func:`unflatten_2d`.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 2:
+        raise ValueError("flatten_2d expects a 2-D array")
+    ordering = _ordering_for(x.shape)
+    return x.ravel()[ordering], ordering
+
+
+def unflatten_2d(values: np.ndarray, ordering: np.ndarray, shape: tuple[int, int]) -> np.ndarray:
+    """Invert :func:`flatten_2d`."""
+    values = np.asarray(values, dtype=float)
+    out = np.empty(shape[0] * shape[1])
+    out[ordering] = values
+    return out.reshape(shape)

@@ -1,0 +1,33 @@
+"""IDENTITY baseline: the Laplace mechanism applied to every cell count."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workload.rangequery import Workload
+from .base import Algorithm, AlgorithmProperties
+from .mechanisms import laplace_noise
+
+__all__ = ["Identity"]
+
+
+class Identity(Algorithm):
+    """Add independent Laplace(1/epsilon) noise to every cell of ``x``.
+
+    This is the paper's data-independent baseline.  Its per-cell error does
+    not depend on the data, and the error of a range query grows linearly in
+    the number of cells the range covers.
+    """
+
+    properties = AlgorithmProperties(
+        name="Identity",
+        supported_dims=(1, 2),
+        data_dependent=False,
+        hierarchical=False,
+        partitioning=False,
+        reference="Dwork et al., TCC 2006",
+    )
+
+    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
+             rng: np.random.Generator) -> np.ndarray:
+        return x + laplace_noise(1.0 / epsilon, x.shape, rng)

@@ -1,0 +1,200 @@
+"""Hierarchical decompositions of 1-D and 2-D domains.
+
+Hierarchical algorithms (H, Hb, GreedyH, QuadTree, the second stage of DAWA)
+measure noisy totals of nested blocks of the domain arranged in a tree.  This
+module provides the tree structure, range-query decomposition over the tree,
+and block/cell bookkeeping shared by those algorithms.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["TreeNode", "HierarchicalTree", "build_tree", "optimal_branching"]
+
+
+@dataclass
+class TreeNode:
+    """A node in a hierarchical decomposition.
+
+    ``lo``/``hi`` are inclusive per-dimension bounds of the block the node
+    covers.  ``level`` 0 is the root.
+    """
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+    level: int
+    index: int = -1                       # position in the flat node list
+    parent: int | None = None             # parent index in the flat node list
+    children: list[int] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        size = 1
+        for a, b in zip(self.lo, self.hi):
+            size *= b - a + 1
+        return size
+
+    @property
+    def is_leaf(self) -> bool:
+        return not self.children
+
+    def slices(self) -> tuple[slice, ...]:
+        return tuple(slice(a, b + 1) for a, b in zip(self.lo, self.hi))
+
+
+class HierarchicalTree:
+    """A b-ary hierarchy over a 1-D or 2-D domain.
+
+    In 1-D each node splits its interval into at most ``branching`` equal
+    pieces.  In 2-D each node splits every axis into at most ``branching``
+    pieces (so a branching of 2 yields a quadtree).
+    """
+
+    def __init__(self, domain_shape: tuple[int, ...], branching: int = 2,
+                 max_height: int | None = None):
+        if branching < 2:
+            raise ValueError("branching factor must be at least 2")
+        self.domain_shape = tuple(int(d) for d in domain_shape)
+        if len(self.domain_shape) not in (1, 2):
+            raise ValueError("only 1-D and 2-D domains are supported")
+        self.branching = int(branching)
+        self.max_height = max_height
+        self.nodes: list[TreeNode] = []
+        self._build()
+
+    # -- construction -------------------------------------------------------------
+    def _build(self) -> None:
+        root = TreeNode(
+            lo=tuple(0 for _ in self.domain_shape),
+            hi=tuple(d - 1 for d in self.domain_shape),
+            level=0,
+        )
+        root.index = 0
+        self.nodes.append(root)
+        frontier = [0]
+        while frontier:
+            next_frontier = []
+            for node_idx in frontier:
+                node = self.nodes[node_idx]
+                if node.size <= 1:
+                    continue
+                if self.max_height is not None and node.level >= self.max_height:
+                    continue
+                for lo, hi in self._split(node):
+                    child = TreeNode(lo=lo, hi=hi, level=node.level + 1,
+                                     parent=node_idx)
+                    child.index = len(self.nodes)
+                    node.children.append(child.index)
+                    self.nodes.append(child)
+                    next_frontier.append(child.index)
+            frontier = next_frontier
+
+    def _split(self, node: TreeNode) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+        per_dim: list[list[tuple[int, int]]] = []
+        for a, b in zip(node.lo, node.hi):
+            length = b - a + 1
+            if length == 1:
+                per_dim.append([(a, b)])
+                continue
+            pieces = min(self.branching, length)
+            boundaries = np.linspace(a, b + 1, pieces + 1).astype(int)
+            segments = []
+            for i in range(pieces):
+                lo_i, hi_i = int(boundaries[i]), int(boundaries[i + 1]) - 1
+                if hi_i >= lo_i:
+                    segments.append((lo_i, hi_i))
+            per_dim.append(segments)
+        blocks = []
+        if len(per_dim) == 1:
+            for seg in per_dim[0]:
+                blocks.append(((seg[0],), (seg[1],)))
+        else:
+            for seg0 in per_dim[0]:
+                for seg1 in per_dim[1]:
+                    blocks.append(((seg0[0], seg1[0]), (seg0[1], seg1[1])))
+        # Avoid degenerate "split" into a single identical block.
+        if len(blocks) == 1 and blocks[0] == (node.lo, node.hi):
+            return []
+        return blocks
+
+    # -- accessors ----------------------------------------------------------------
+    @property
+    def height(self) -> int:
+        return max(node.level for node in self.nodes)
+
+    @property
+    def n_levels(self) -> int:
+        return self.height + 1
+
+    def levels(self) -> list[list[TreeNode]]:
+        out: list[list[TreeNode]] = [[] for _ in range(self.n_levels)]
+        for node in self.nodes:
+            out[node.level].append(node)
+        return out
+
+    def leaves(self) -> list[TreeNode]:
+        return [node for node in self.nodes if node.is_leaf]
+
+    def node_totals(self, x: np.ndarray) -> np.ndarray:
+        """True block totals for every node, in node-index order."""
+        x = np.asarray(x, dtype=float)
+        return np.array([x[node.slices()].sum() for node in self.nodes])
+
+    # -- range decomposition -------------------------------------------------------
+    def decompose_range(self, lo: tuple[int, ...], hi: tuple[int, ...]) -> list[int]:
+        """Canonical decomposition of a range into a minimal set of tree nodes.
+
+        Greedy top-down: a node fully inside the range is taken whole,
+        a node disjoint from the range is skipped, otherwise recurse into its
+        children (or, at a leaf covering several cells, the leaf is accepted
+        as a partial overlap — this is where aggregated-leaf bias appears).
+        """
+        selected: list[int] = []
+        stack = [0]
+        while stack:
+            idx = stack.pop()
+            node = self.nodes[idx]
+            if any(nhi < qlo or nlo > qhi
+                   for nlo, nhi, qlo, qhi in zip(node.lo, node.hi, lo, hi)):
+                continue
+            inside = all(qlo <= nlo and nhi <= qhi
+                         for nlo, nhi, qlo, qhi in zip(node.lo, node.hi, lo, hi))
+            if inside or node.is_leaf:
+                selected.append(idx)
+            else:
+                stack.extend(node.children)
+        return selected
+
+    def level_usage(self, workload) -> np.ndarray:
+        """Number of nodes per level used by the canonical decomposition of
+        every workload query.  Drives GreedyH's budget allocation."""
+        usage = np.zeros(self.n_levels)
+        for query in workload:
+            for idx in self.decompose_range(query.lo, query.hi):
+                usage[self.nodes[idx].level] += 1
+        return usage
+
+
+def optimal_branching(n: int, max_branching: int = 16) -> int:
+    """Branching factor used by Hb: minimise the average variance proxy
+    ``(b - 1) * h^3`` where ``h = ceil(log_b n)`` (Qardaji et al.)."""
+    if n <= 2:
+        return 2
+    best_b, best_cost = 2, float("inf")
+    for b in range(2, max_branching + 1):
+        h = int(np.ceil(np.log(n) / np.log(b)))
+        if h < 1:
+            h = 1
+        cost = (b - 1) * h ** 3
+        if cost < best_cost:
+            best_b, best_cost = b, cost
+    return best_b
+
+
+def build_tree(domain_shape: tuple[int, ...], branching: int = 2,
+               max_height: int | None = None) -> HierarchicalTree:
+    """Convenience constructor for :class:`HierarchicalTree`."""
+    return HierarchicalTree(domain_shape, branching=branching, max_height=max_height)

@@ -1,0 +1,38 @@
+"""UNIFORM baseline: estimate only the total and assume a uniform shape."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..workload.rangequery import Workload
+from .base import Algorithm, AlgorithmProperties
+from .mechanisms import laplace_noise
+
+__all__ = ["Uniform"]
+
+
+class Uniform(Algorithm):
+    """Spend the whole budget on a noisy estimate of the dataset scale and
+    spread it uniformly over the domain.
+
+    Equivalent to an equi-width histogram with a single bucket spanning the
+    entire domain.  It is the paper's data-dependent baseline: an algorithm
+    that cannot beat UNIFORM on non-uniform data is not providing useful
+    information.  UNIFORM is biased (and therefore inconsistent) whenever the
+    data is not uniform.
+    """
+
+    properties = AlgorithmProperties(
+        name="Uniform",
+        supported_dims=(1, 2),
+        data_dependent=True,
+        partitioning=True,
+        consistent=False,
+        reference="DPBench baseline",
+    )
+
+    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
+             rng: np.random.Generator) -> np.ndarray:
+        noisy_total = x.sum() + float(laplace_noise(1.0 / epsilon, (), rng))
+        noisy_total = max(noisy_total, 0.0)
+        return np.full(x.shape, noisy_total / x.size)

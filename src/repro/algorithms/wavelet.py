@@ -1,0 +1,90 @@
+"""Haar wavelet substrate used by the Privelet algorithm.
+
+The (unnormalised) Haar decomposition of a length-``n`` vector consists of the
+grand total plus, for every node of a binary tree over the domain, the
+difference between the totals of its left and right halves.  Adding one record
+to a single cell changes the grand total by one and exactly one difference
+coefficient per tree level by one, so the L1 sensitivity of the transform is
+``1 + ceil(log2 n)`` — the key fact behind Privelet's noise calibration.
+
+Vectors whose length is not a power of two are zero-padded; the padding cells
+are dropped after reconstruction.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "next_power_of_two",
+    "haar_forward",
+    "haar_inverse",
+    "haar_sensitivity",
+]
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two that is ``>= n``."""
+    if n < 1:
+        raise ValueError("n must be positive")
+    return 1 << (int(n - 1).bit_length())
+
+
+def haar_forward(x: np.ndarray) -> list[np.ndarray]:
+    """Unnormalised Haar decomposition of a 1-D vector.
+
+    Returns ``[total, diffs_level_1, diffs_level_2, ...]`` where
+    ``diffs_level_k`` holds, for every node at depth ``k`` of the binary tree
+    (coarsest first), ``sum(left half) - sum(right half)``.
+    """
+    x = np.asarray(x, dtype=float)
+    if x.ndim != 1:
+        raise ValueError("haar_forward expects a 1-D vector")
+    n = next_power_of_two(x.size)
+    padded = np.zeros(n)
+    padded[: x.size] = x
+    coefficients: list[np.ndarray] = []
+    current = padded
+    diffs_fine_to_coarse: list[np.ndarray] = []
+    while current.size > 1:
+        pairs = current.reshape(-1, 2)
+        sums = pairs.sum(axis=1)
+        diffs = pairs[:, 0] - pairs[:, 1]
+        diffs_fine_to_coarse.append(diffs)
+        current = sums
+    coefficients.append(current.copy())          # the grand total, length 1
+    coefficients.extend(reversed(diffs_fine_to_coarse))
+    return coefficients
+
+
+def haar_inverse(coefficients: list[np.ndarray], original_size: int | None = None) -> np.ndarray:
+    """Invert :func:`haar_forward`.
+
+    ``coefficients`` follows the same layout produced by the forward
+    transform.  ``original_size`` trims the zero-padding if the input length
+    was not a power of two.
+    """
+    if not coefficients:
+        raise ValueError("no coefficients to invert")
+    current = np.asarray(coefficients[0], dtype=float).copy()
+    for diffs in coefficients[1:]:
+        diffs = np.asarray(diffs, dtype=float)
+        if diffs.size != current.size:
+            raise ValueError("coefficient level sizes are inconsistent")
+        left = (current + diffs) / 2.0
+        right = (current - diffs) / 2.0
+        expanded = np.empty(current.size * 2)
+        expanded[0::2] = left
+        expanded[1::2] = right
+        current = expanded
+    if original_size is not None:
+        current = current[:original_size]
+    return current
+
+
+def haar_sensitivity(n: int) -> float:
+    """L1 sensitivity of the unnormalised Haar decomposition of a length-``n``
+    vector: one for the total plus one per difference level."""
+    padded = next_power_of_two(n)
+    levels = int(np.log2(padded)) if padded > 1 else 0
+    return 1.0 + levels

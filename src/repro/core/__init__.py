@@ -1,0 +1,78 @@
+"""DPBench core: the evaluation framework itself."""
+
+from .analysis import (
+    baseline_comparison,
+    competitive_algorithms,
+    competitive_counts,
+    mean_vs_p95_disagreements,
+    regret,
+)
+from .benchmark import BenchmarkGrid, DPBench
+from .error import (
+    ErrorSummary,
+    bias_variance_decomposition,
+    scaled_average_per_query_error,
+    summarize_errors,
+    workload_loss,
+)
+from .generator import DataGenerator
+from .properties import (
+    check_consistency,
+    check_exchangeability,
+    consistency_curve,
+    exchangeability_ratio,
+    mean_scaled_error,
+)
+from .registry import (
+    ALGORITHM_REGISTRY,
+    BASELINES,
+    DATA_DEPENDENT,
+    DATA_INDEPENDENT,
+    algorithm_names,
+    algorithms_for_dimension,
+    make_algorithm,
+    table1_rows,
+)
+from .repair import SideInformationRepair
+from .results import ExperimentSetting, ResultSet, RunRecord
+from .suite import benchmark_1d, benchmark_2d, full_mode
+from .tuning import ParameterTuner, TuningResult, tuned_algorithm_factory
+
+__all__ = [
+    "DPBench",
+    "BenchmarkGrid",
+    "DataGenerator",
+    "ResultSet",
+    "RunRecord",
+    "ExperimentSetting",
+    "ErrorSummary",
+    "workload_loss",
+    "scaled_average_per_query_error",
+    "summarize_errors",
+    "bias_variance_decomposition",
+    "competitive_algorithms",
+    "competitive_counts",
+    "regret",
+    "baseline_comparison",
+    "mean_vs_p95_disagreements",
+    "check_consistency",
+    "check_exchangeability",
+    "consistency_curve",
+    "exchangeability_ratio",
+    "mean_scaled_error",
+    "ALGORITHM_REGISTRY",
+    "BASELINES",
+    "DATA_INDEPENDENT",
+    "DATA_DEPENDENT",
+    "make_algorithm",
+    "algorithm_names",
+    "algorithms_for_dimension",
+    "table1_rows",
+    "SideInformationRepair",
+    "ParameterTuner",
+    "TuningResult",
+    "tuned_algorithm_factory",
+    "benchmark_1d",
+    "benchmark_2d",
+    "full_mode",
+]

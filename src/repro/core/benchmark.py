@@ -1,0 +1,189 @@
+"""The DPBench benchmark object and experiment runner.
+
+A benchmark is the 9-tuple ``{T, W, D, M, L, G, R, EM, EI}`` of Section 5 of
+the paper.  :class:`DPBench` holds the task-specific components (task,
+workload factory, datasets, algorithms, loss) and wires in the task-independent
+ones (the data generator ``G``, the error-measurement standard ``EM`` via
+:mod:`repro.core.error`, and the interpretation standard ``EI`` via
+:mod:`repro.core.analysis`); the repair functions ``R`` live in
+:mod:`repro.core.tuning` and :mod:`repro.core.repair` and are applied when
+constructing the algorithm set (e.g. the starred variants).
+
+The runner sweeps the experimental grid (dataset x domain size x scale x
+epsilon x algorithm), drawing ``n_data_samples`` data vectors per setting from
+the generator and running each algorithm ``n_trials`` times per data vector,
+exactly mirroring the paper's protocol (5 data vectors x 10 trials).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..algorithms.base import Algorithm
+from ..algorithms.mechanisms import as_rng
+from ..data.dataset import Dataset
+from ..workload.builders import default_workload
+from ..workload.rangequery import Workload
+from .error import scaled_average_per_query_error
+from .generator import DataGenerator
+from .results import ExperimentSetting, ResultSet, RunRecord
+
+__all__ = ["BenchmarkGrid", "DPBench"]
+
+AlgorithmFactory = Callable[[], Algorithm]
+
+
+@dataclass
+class BenchmarkGrid:
+    """The experimental grid swept by :meth:`DPBench.run`."""
+
+    scales: Sequence[int]
+    domain_shapes: Sequence[tuple[int, ...]]
+    epsilons: Sequence[float] = (0.1,)
+    n_data_samples: int = 5
+    n_trials: int = 10
+
+    def __post_init__(self):
+        if not self.scales or not self.domain_shapes or not self.epsilons:
+            raise ValueError("the grid needs at least one scale, domain and epsilon")
+        if self.n_data_samples < 1 or self.n_trials < 1:
+            raise ValueError("n_data_samples and n_trials must be positive")
+
+    @property
+    def n_settings(self) -> int:
+        return len(self.scales) * len(self.domain_shapes) * len(self.epsilons)
+
+
+@dataclass
+class DPBench:
+    """A concrete benchmark: task-specific components plus a grid.
+
+    Parameters
+    ----------
+    task:
+        Human-readable task name (e.g. ``"1D range queries"``).
+    datasets:
+        The source datasets ``D``; their shapes drive the study.
+    algorithms:
+        Mapping from algorithm name to a zero-argument factory (``M``).  A
+        factory may also accept ``(epsilon, scale, domain_size)`` keyword-free
+        positional arguments, which lets tuned variants pick setting-specific
+        parameters; plain classes/instances are wrapped automatically.
+    workload_factory:
+        ``W``: builds the workload for a domain shape; defaults to the paper's
+        Prefix (1-D) / 2000 random range queries (2-D).
+    loss:
+        ``L``: the loss function passed to the error standard (default L2).
+    grid:
+        The experimental grid (scales, domains, epsilons, repetition counts).
+    """
+
+    task: str
+    datasets: Sequence[Dataset]
+    algorithms: dict[str, AlgorithmFactory]
+    grid: BenchmarkGrid
+    workload_factory: Callable[[tuple[int, ...], np.random.Generator], Workload] | None = None
+    loss: str = "l2"
+    workload_seed: int = 20160626
+    metadata: dict = field(default_factory=dict)
+
+    # -- algorithm instantiation ----------------------------------------------------
+    def _instantiate(self, factory, epsilon: float, scale: int, domain_size: int) -> Algorithm:
+        if isinstance(factory, Algorithm) or hasattr(factory, "run"):
+            return factory
+        if isinstance(factory, type) and issubclass(factory, Algorithm):
+            return factory()
+        try:
+            return factory(epsilon, scale, domain_size)
+        except TypeError:
+            return factory()
+
+    def _workload_for(self, domain_shape: tuple[int, ...]) -> Workload:
+        rng = as_rng(self.workload_seed)
+        if self.workload_factory is None:
+            return default_workload(domain_shape, rng=rng)
+        return self.workload_factory(domain_shape, rng)
+
+    # -- execution --------------------------------------------------------------------
+    def run(
+        self,
+        rng: np.random.Generator | int | None = None,
+        on_error: str = "record",
+        progress: Callable[[str], None] | None = None,
+    ) -> ResultSet:
+        """Execute the full grid and return a :class:`ResultSet`.
+
+        ``on_error`` controls what happens when an algorithm raises: "record"
+        (default) stores a failed record and continues, "raise" propagates.
+        """
+        if on_error not in ("record", "raise"):
+            raise ValueError("on_error must be 'record' or 'raise'")
+        rng = as_rng(rng)
+        results = ResultSet()
+        for domain_shape in self.grid.domain_shapes:
+            workload = self._workload_for(tuple(domain_shape))
+            for dataset in self.datasets:
+                if dataset.ndim != len(domain_shape):
+                    continue
+                generator = DataGenerator(dataset)
+                for scale in self.grid.scales:
+                    samples = generator.generate_many(
+                        scale, self.grid.n_data_samples, tuple(domain_shape), rng)
+                    true_answers = [workload.evaluate(s.counts) for s in samples]
+                    for epsilon in self.grid.epsilons:
+                        setting = ExperimentSetting(
+                            dataset=dataset.name,
+                            scale=int(scale),
+                            domain_shape=tuple(domain_shape),
+                            epsilon=float(epsilon),
+                            workload=workload.name,
+                        )
+                        for name, factory in self.algorithms.items():
+                            record = self._run_algorithm(
+                                name, factory, samples, true_answers, workload,
+                                setting, epsilon, scale, rng, on_error)
+                            if record is not None:
+                                results.add(record)
+                                if progress is not None:
+                                    progress(
+                                        f"{dataset.name} scale={scale} eps={epsilon} "
+                                        f"{name}: done"
+                                    )
+        return results
+
+    def _run_algorithm(
+        self,
+        name: str,
+        factory,
+        samples: list[Dataset],
+        true_answers: list[np.ndarray],
+        workload: Workload,
+        setting: ExperimentSetting,
+        epsilon: float,
+        scale: int,
+        rng: np.random.Generator,
+        on_error: str,
+    ) -> RunRecord | None:
+        domain_size = int(np.prod(setting.domain_shape))
+        algorithm = self._instantiate(factory, epsilon, scale, domain_size)
+        if not algorithm.supports(len(setting.domain_shape)):
+            return None
+        errors: list[float] = []
+        try:
+            for sample, answers in zip(samples, true_answers):
+                for _ in range(self.grid.n_trials):
+                    estimate = algorithm.run(sample.counts, epsilon,
+                                             workload=workload, rng=rng)
+                    errors.append(scaled_average_per_query_error(
+                        answers, workload.evaluate(estimate),
+                        max(sample.scale, 1.0), loss=self.loss))
+        except Exception as exc:  # noqa: BLE001 - harness boundary
+            if on_error == "raise":
+                raise
+            return RunRecord(setting=setting, algorithm=name,
+                             errors=np.array([]), failed=True,
+                             failure_message=f"{type(exc).__name__}: {exc}")
+        return RunRecord(setting=setting, algorithm=name, errors=np.array(errors))

@@ -1,0 +1,169 @@
+"""Result storage and aggregation for benchmark runs."""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .error import ErrorSummary, summarize_errors
+
+__all__ = ["ExperimentSetting", "RunRecord", "ResultSet"]
+
+
+@dataclass(frozen=True)
+class ExperimentSetting:
+    """One cell of the experimental grid.
+
+    A setting fixes the dataset (shape), the scale, the domain, epsilon and
+    the workload; records for different algorithms at the same setting are
+    what the competitive analysis compares.
+    """
+
+    dataset: str
+    scale: int
+    domain_shape: tuple[int, ...]
+    epsilon: float
+    workload: str
+
+    def key_without_algorithm(self) -> tuple:
+        return (self.dataset, self.scale, self.domain_shape, self.epsilon, self.workload)
+
+
+@dataclass
+class RunRecord:
+    """All trials of one algorithm at one experimental setting."""
+
+    setting: ExperimentSetting
+    algorithm: str
+    errors: np.ndarray
+    failed: bool = False
+    failure_message: str = ""
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def summary(self) -> ErrorSummary:
+        return summarize_errors(self.errors)
+
+
+class ResultSet:
+    """A collection of :class:`RunRecord` with grouping/aggregation helpers."""
+
+    def __init__(self, records: list[RunRecord] | None = None):
+        self._records: list[RunRecord] = list(records or [])
+
+    # -- collection protocol --------------------------------------------------------
+    def add(self, record: RunRecord) -> None:
+        self._records.append(record)
+
+    def extend(self, records) -> None:
+        self._records.extend(records)
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self):
+        return iter(self._records)
+
+    @property
+    def records(self) -> list[RunRecord]:
+        return list(self._records)
+
+    # -- filtering / grouping ---------------------------------------------------------
+    def filter(self, **criteria) -> "ResultSet":
+        """Subset by setting fields or by ``algorithm=...``."""
+        def matches(record: RunRecord) -> bool:
+            for key, value in criteria.items():
+                if key == "algorithm":
+                    if record.algorithm != value:
+                        return False
+                elif getattr(record.setting, key) != value:
+                    return False
+            return True
+
+        return ResultSet([r for r in self._records if matches(r)])
+
+    def successful(self) -> "ResultSet":
+        return ResultSet([r for r in self._records if not r.failed])
+
+    def algorithms(self) -> list[str]:
+        return sorted({r.algorithm for r in self._records})
+
+    def datasets(self) -> list[str]:
+        return sorted({r.setting.dataset for r in self._records})
+
+    def scales(self) -> list[int]:
+        return sorted({r.setting.scale for r in self._records})
+
+    def settings(self) -> list[ExperimentSetting]:
+        seen: dict[tuple, ExperimentSetting] = {}
+        for record in self._records:
+            seen.setdefault(record.setting.key_without_algorithm(), record.setting)
+        return list(seen.values())
+
+    def by_setting(self) -> dict[tuple, dict[str, RunRecord]]:
+        """Map setting-key -> {algorithm -> record}."""
+        grouped: dict[tuple, dict[str, RunRecord]] = {}
+        for record in self._records:
+            grouped.setdefault(record.setting.key_without_algorithm(), {})[record.algorithm] = record
+        return grouped
+
+    def errors_at(self, setting: ExperimentSetting) -> dict[str, np.ndarray]:
+        """Per-algorithm error samples at one setting (successful runs only)."""
+        out = {}
+        for record in self._records:
+            if record.setting == setting and not record.failed:
+                out[record.algorithm] = record.errors
+        return out
+
+    # -- tabulation -------------------------------------------------------------------
+    def to_rows(self) -> list[dict]:
+        """Flat rows (one per record) with summary statistics."""
+        rows = []
+        for record in self._records:
+            row = {
+                "dataset": record.setting.dataset,
+                "scale": record.setting.scale,
+                "domain": "x".join(str(d) for d in record.setting.domain_shape),
+                "epsilon": record.setting.epsilon,
+                "workload": record.setting.workload,
+                "algorithm": record.algorithm,
+                "failed": record.failed,
+            }
+            if record.failed:
+                row.update({"mean_error": float("nan"), "p95_error": float("nan"),
+                            "std_error": float("nan"), "n_trials": 0})
+            else:
+                summary = record.summary
+                row.update({
+                    "mean_error": summary.mean,
+                    "p95_error": summary.percentile95,
+                    "std_error": summary.std,
+                    "n_trials": summary.n_trials,
+                })
+            rows.append(row)
+        return rows
+
+    def mean_error(self, algorithm: str, **criteria) -> float:
+        """Mean error of one algorithm averaged over all matching settings."""
+        subset = self.filter(algorithm=algorithm, **criteria).successful()
+        if len(subset) == 0:
+            return float("nan")
+        return float(np.mean([r.summary.mean for r in subset]))
+
+    def to_csv(self, path=None) -> str:
+        """Write the flat rows to ``path`` (or return CSV text if no path)."""
+        rows = self.to_rows()
+        if not rows:
+            return ""
+        buffer = io.StringIO()
+        writer = csv.DictWriter(buffer, fieldnames=list(rows[0].keys()))
+        writer.writeheader()
+        writer.writerows(rows)
+        text = buffer.getvalue()
+        if path is not None:
+            with open(path, "w", encoding="utf8") as handle:
+                handle.write(text)
+        return text

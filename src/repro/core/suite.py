@@ -1,0 +1,143 @@
+"""Canonical benchmark configurations for the paper's 1-D and 2-D studies.
+
+The paper's full grid (6 scales x 4 domain sizes x 18/9 datasets x 14
+algorithms x 5 data vectors x 10 trials = 7,920 configurations, roughly 22
+CPU-days) is far beyond what a test run should require, so this module builds
+the same benchmarks at a configurable resolution.  The environment variable
+``DPBENCH_FULL=1`` switches the benches to the paper's full settings.
+
+The defaults reproduce the *structure* of every figure and table: the same
+datasets, the same algorithms, the same scale/domain sweeps, with smaller
+domains, fewer repetitions and a subset of scales.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+from ..data.dataset import Dataset
+from ..data.sources import all_datasets, load_dataset
+from .benchmark import BenchmarkGrid, DPBench
+from .registry import algorithm_names, make_algorithm
+
+__all__ = [
+    "full_mode",
+    "default_scales_1d",
+    "default_scales_2d",
+    "default_domain_1d",
+    "default_domain_2d",
+    "default_repetitions",
+    "benchmark_1d",
+    "benchmark_2d",
+]
+
+#: The paper's experimental constants.
+PAPER_SCALES_1D = (10 ** 3, 10 ** 5, 10 ** 7)
+PAPER_SCALES_2D = (10 ** 4, 10 ** 6, 10 ** 8)
+PAPER_DOMAIN_1D = (4096,)
+PAPER_DOMAIN_2D = (128, 128)
+PAPER_DATA_SAMPLES = 5
+PAPER_TRIALS = 10
+
+
+def full_mode() -> bool:
+    """True when the benches should run at the paper's full settings."""
+    return os.environ.get("DPBENCH_FULL", "0") not in ("", "0", "false", "False")
+
+
+def default_scales_1d() -> tuple[int, ...]:
+    return PAPER_SCALES_1D if full_mode() else (10 ** 3, 10 ** 5, 10 ** 7)
+
+
+def default_scales_2d() -> tuple[int, ...]:
+    return PAPER_SCALES_2D if full_mode() else (10 ** 4, 10 ** 6, 10 ** 8)
+
+
+def default_domain_1d() -> tuple[int, ...]:
+    return PAPER_DOMAIN_1D if full_mode() else (1024,)
+
+
+def default_domain_2d() -> tuple[int, ...]:
+    return PAPER_DOMAIN_2D if full_mode() else (64, 64)
+
+
+def default_repetitions() -> tuple[int, int]:
+    """(n_data_samples, n_trials)."""
+    return (PAPER_DATA_SAMPLES, PAPER_TRIALS) if full_mode() else (1, 3)
+
+
+def _resolve_datasets(datasets, ndim: int, limit: int | None) -> list[Dataset]:
+    if datasets is None:
+        resolved = all_datasets(ndim)
+    else:
+        resolved = [d if isinstance(d, Dataset) else load_dataset(d) for d in datasets]
+    if limit is not None:
+        resolved = resolved[:limit]
+    return resolved
+
+
+def _resolve_algorithms(algorithms, ndim: int) -> dict:
+    if algorithms is None:
+        algorithms = algorithm_names(ndim)
+    resolved = {}
+    for item in algorithms:
+        if isinstance(item, str):
+            resolved[item] = make_algorithm(item)
+        else:
+            resolved[item.name] = item
+    return resolved
+
+
+def benchmark_1d(
+    datasets: Sequence | None = None,
+    algorithms: Sequence | None = None,
+    scales: Sequence[int] | None = None,
+    domain_shapes: Sequence[tuple[int, ...]] | None = None,
+    epsilons: Sequence[float] = (0.1,),
+    n_data_samples: int | None = None,
+    n_trials: int | None = None,
+    dataset_limit: int | None = None,
+) -> DPBench:
+    """The paper's 1-D range-query benchmark (Prefix workload)."""
+    samples, trials = default_repetitions()
+    grid = BenchmarkGrid(
+        scales=tuple(scales or default_scales_1d()),
+        domain_shapes=tuple(domain_shapes or (default_domain_1d(),)),
+        epsilons=tuple(epsilons),
+        n_data_samples=n_data_samples or samples,
+        n_trials=n_trials or trials,
+    )
+    return DPBench(
+        task="1D range queries",
+        datasets=_resolve_datasets(datasets, 1, dataset_limit),
+        algorithms=_resolve_algorithms(algorithms, 1),
+        grid=grid,
+    )
+
+
+def benchmark_2d(
+    datasets: Sequence | None = None,
+    algorithms: Sequence | None = None,
+    scales: Sequence[int] | None = None,
+    domain_shapes: Sequence[tuple[int, ...]] | None = None,
+    epsilons: Sequence[float] = (0.1,),
+    n_data_samples: int | None = None,
+    n_trials: int | None = None,
+    dataset_limit: int | None = None,
+) -> DPBench:
+    """The paper's 2-D range-query benchmark (2000 random range queries)."""
+    samples, trials = default_repetitions()
+    grid = BenchmarkGrid(
+        scales=tuple(scales or default_scales_2d()),
+        domain_shapes=tuple(domain_shapes or (default_domain_2d(),)),
+        epsilons=tuple(epsilons),
+        n_data_samples=n_data_samples or samples,
+        n_trials=n_trials or trials,
+    )
+    return DPBench(
+        task="2D range queries",
+        datasets=_resolve_datasets(datasets, 2, dataset_limit),
+        algorithms=_resolve_algorithms(algorithms, 2),
+        grid=grid,
+    )

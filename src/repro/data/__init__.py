@@ -1,0 +1,48 @@
+"""Datasets, shape families and the relational substrate."""
+
+from .dataset import Dataset
+from .relational import Attribute, Relation, histogram, synthesize_relation
+from .sources import (
+    DATASET_SPECS,
+    MAX_DOMAIN_1D,
+    MAX_DOMAIN_2D,
+    all_datasets,
+    dataset_names,
+    dataset_overview,
+    load_dataset,
+)
+from .synthetic import (
+    TRAINING_SHAPE_FAMILIES,
+    apply_sparsity,
+    gaussian_mixture_shape_2d,
+    multimodal_shape,
+    normal_shape,
+    power_law_shape,
+    sparse_cluster_shape_2d,
+    spiky_shape,
+    uniform_shape,
+)
+
+__all__ = [
+    "Dataset",
+    "Attribute",
+    "Relation",
+    "histogram",
+    "synthesize_relation",
+    "DATASET_SPECS",
+    "MAX_DOMAIN_1D",
+    "MAX_DOMAIN_2D",
+    "load_dataset",
+    "all_datasets",
+    "dataset_names",
+    "dataset_overview",
+    "power_law_shape",
+    "normal_shape",
+    "uniform_shape",
+    "spiky_shape",
+    "multimodal_shape",
+    "gaussian_mixture_shape_2d",
+    "sparse_cluster_shape_2d",
+    "apply_sparsity",
+    "TRAINING_SHAPE_FAMILIES",
+]

@@ -1,0 +1,130 @@
+"""A small relational substrate: from tuples to count vectors.
+
+The paper's data model (Section 2.2) starts from a single-relation schema
+``R(A1, ..., Al)`` with discrete ordered attributes; the analyst picks target
+attributes ``B`` and the database is summarised as the multi-dimensional
+array ``x`` of counts over the cross product of the chosen attributes'
+domains.  This module provides that bridge: a tiny typed relation, attribute
+discretisation, histogram construction, and the reverse operation of
+synthesising a plausible relation from a histogram (used by the examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.mechanisms import as_rng
+from .dataset import Dataset
+
+__all__ = ["Attribute", "Relation", "histogram", "synthesize_relation"]
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A discrete ordered attribute with an explicit binning.
+
+    ``bins`` is the number of cells the attribute contributes to the
+    histogram domain; ``low``/``high`` bound the raw values (values outside
+    are clipped into the first/last bin, mirroring common practice when
+    discretising continuous attributes).
+    """
+
+    name: str
+    low: float
+    high: float
+    bins: int
+
+    def __post_init__(self):
+        if self.bins < 1:
+            raise ValueError("an attribute needs at least one bin")
+        if self.high <= self.low:
+            raise ValueError("high must exceed low")
+
+    def bin_index(self, values: np.ndarray) -> np.ndarray:
+        """Map raw values to bin indices in ``[0, bins)``."""
+        values = np.asarray(values, dtype=float)
+        width = (self.high - self.low) / self.bins
+        indices = np.floor((values - self.low) / width).astype(int)
+        return np.clip(indices, 0, self.bins - 1)
+
+    def bin_center(self, indices: np.ndarray) -> np.ndarray:
+        """Representative raw value for each bin index."""
+        indices = np.asarray(indices, dtype=float)
+        width = (self.high - self.low) / self.bins
+        return self.low + (indices + 0.5) * width
+
+
+class Relation:
+    """A single-relation instance: named columns of equal length."""
+
+    def __init__(self, columns: dict[str, np.ndarray]):
+        if not columns:
+            raise ValueError("a relation needs at least one column")
+        lengths = {name: len(np.asarray(values)) for name, values in columns.items()}
+        if len(set(lengths.values())) != 1:
+            raise ValueError(f"columns have inconsistent lengths: {lengths}")
+        self._columns = {name: np.asarray(values) for name, values in columns.items()}
+
+    def __len__(self) -> int:
+        return len(next(iter(self._columns.values())))
+
+    @property
+    def attributes(self) -> list[str]:
+        return list(self._columns)
+
+    def column(self, name: str) -> np.ndarray:
+        if name not in self._columns:
+            raise KeyError(f"no column {name!r}; available: {self.attributes}")
+        return self._columns[name]
+
+    def filter(self, mask: np.ndarray) -> "Relation":
+        """Row-subset of the relation (used to derive filtered histograms,
+        like the BIDS-FJ / BIDS-FM variants in the paper)."""
+        mask = np.asarray(mask, dtype=bool)
+        return Relation({name: values[mask] for name, values in self._columns.items()})
+
+
+def histogram(relation: Relation, attributes: list[Attribute], name: str = "histogram") -> Dataset:
+    """Build the count array ``x`` over the chosen target attributes ``B``."""
+    if not 1 <= len(attributes) <= 2:
+        raise ValueError("histograms over 1 or 2 attributes are supported")
+    index_arrays = [attr.bin_index(relation.column(attr.name)) for attr in attributes]
+    shape = tuple(attr.bins for attr in attributes)
+    if len(attributes) == 1:
+        counts = np.bincount(index_arrays[0], minlength=shape[0]).astype(float)
+    else:
+        flat = index_arrays[0] * shape[1] + index_arrays[1]
+        counts = np.bincount(flat, minlength=shape[0] * shape[1]).astype(float)
+        counts = counts.reshape(shape)
+    return Dataset(name=name, counts=counts,
+                   description=f"histogram over {[a.name for a in attributes]}")
+
+
+def synthesize_relation(dataset: Dataset, attributes: list[Attribute],
+                        rng: np.random.Generator | int | None = None) -> Relation:
+    """Sample a relation whose histogram over ``attributes`` equals ``dataset``.
+
+    Each histogram cell contributes its count of rows, with raw attribute
+    values placed at the bin centers (plus small jitter).  Used by the example
+    applications to demonstrate the full relation -> histogram -> private
+    release pipeline without shipping raw data.
+    """
+    rng = as_rng(rng)
+    counts = np.rint(dataset.counts).astype(int)
+    if tuple(attr.bins for attr in attributes) != dataset.domain_shape:
+        raise ValueError("attribute binning must match the dataset domain")
+    columns: dict[str, list] = {attr.name: [] for attr in attributes}
+    indices = np.argwhere(counts > 0)
+    for index in indices:
+        count = counts[tuple(index)]
+        for attr, idx in zip(attributes, index):
+            width = (attr.high - attr.low) / attr.bins
+            center = attr.bin_center(np.array([idx]))[0]
+            jitter = rng.uniform(-width / 2, width / 2, size=count)
+            columns[attr.name].append(center + jitter)
+    return Relation({
+        name: np.concatenate(values) if values else np.array([])
+        for name, values in columns.items()
+    })

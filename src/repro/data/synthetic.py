@@ -1,0 +1,161 @@
+"""Synthetic shape families.
+
+Two distinct consumers use these generators:
+
+* the dataset substrate (``repro.data.sources``) builds stand-ins for the
+  paper's 27 public datasets by combining these families with the documented
+  scale and sparsity of each dataset;
+* the free-parameter tuning procedure (``repro.core.tuning``) trains on
+  power-law and normal shapes, exactly as Section 6.4 of the paper does.
+
+Every function returns a non-negative vector (or matrix) that sums to one — a
+*shape* in the paper's terminology.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..algorithms.mechanisms import as_rng
+
+__all__ = [
+    "power_law_shape",
+    "normal_shape",
+    "uniform_shape",
+    "spiky_shape",
+    "multimodal_shape",
+    "gaussian_mixture_shape_2d",
+    "sparse_cluster_shape_2d",
+    "apply_sparsity",
+    "TRAINING_SHAPE_FAMILIES",
+]
+
+
+def _normalise(weights: np.ndarray) -> np.ndarray:
+    weights = np.clip(np.asarray(weights, dtype=float), 0.0, None)
+    total = weights.sum()
+    if total <= 0:
+        return np.full(weights.shape, 1.0 / weights.size)
+    return weights / total
+
+
+def apply_sparsity(shape: np.ndarray, zero_fraction: float,
+                   rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Force approximately ``zero_fraction`` of the cells to zero mass.
+
+    The smallest-mass cells are zeroed first (ties broken randomly), then the
+    shape is re-normalised.  Matching the documented sparsity of the paper's
+    datasets is important because sparsity is exactly what partitioning
+    algorithms exploit.
+    """
+    rng = as_rng(rng)
+    shape = _normalise(shape)
+    n_zero = int(round(zero_fraction * shape.size))
+    if n_zero <= 0:
+        return shape
+    n_zero = min(n_zero, shape.size - 1)
+    flat = shape.ravel().copy()
+    jitter = rng.uniform(0, 1e-12, size=flat.size)
+    order = np.argsort(flat + jitter)
+    flat[order[:n_zero]] = 0.0
+    return _normalise(flat).reshape(shape.shape)
+
+
+def power_law_shape(n: int, alpha: float = 1.1,
+                    rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Zipf-like decreasing shape with random cell placement."""
+    rng = as_rng(rng)
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-alpha)
+    permutation = rng.permutation(n)
+    return _normalise(weights[permutation])
+
+
+def normal_shape(n: int, center: float | None = None, spread: float = 0.08,
+                 rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """A single Gaussian bump over the domain."""
+    rng = as_rng(rng)
+    if center is None:
+        center = rng.uniform(0.2, 0.8)
+    positions = np.linspace(0, 1, n)
+    weights = np.exp(-0.5 * ((positions - center) / spread) ** 2)
+    return _normalise(weights)
+
+
+def uniform_shape(n: int, rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Perfectly uniform shape."""
+    return np.full(n, 1.0 / n)
+
+
+def spiky_shape(n: int, n_spikes: int = 12, background: float = 0.0,
+                rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """A few heavy spikes over an (optionally zero) background.
+
+    Mimics histograms such as ADULT capital-gain or NETTRACE, where a handful
+    of cells carry nearly all the mass.
+    """
+    rng = as_rng(rng)
+    weights = np.full(n, background)
+    spikes = rng.choice(n, size=min(n_spikes, n), replace=False)
+    weights[spikes] += rng.pareto(1.0, size=spikes.size) + 1.0
+    return _normalise(weights)
+
+
+def multimodal_shape(n: int, n_modes: int = 4, spread: float = 0.03,
+                     rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """A mixture of Gaussian bumps (salary / loan amount style histograms)."""
+    rng = as_rng(rng)
+    positions = np.linspace(0, 1, n)
+    weights = np.zeros(n)
+    for _ in range(n_modes):
+        center = rng.uniform(0.05, 0.95)
+        width = spread * rng.uniform(0.5, 2.0)
+        height = rng.uniform(0.3, 1.0)
+        weights += height * np.exp(-0.5 * ((positions - center) / width) ** 2)
+    return _normalise(weights)
+
+
+def gaussian_mixture_shape_2d(shape: tuple[int, int], n_clusters: int = 6,
+                              spread: float = 0.05,
+                              rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Clustered 2-D shape, the stand-in family for spatial datasets
+    (taxi pick-ups/drop-offs, check-ins)."""
+    rng = as_rng(rng)
+    rows, cols = shape
+    row_positions = np.linspace(0, 1, rows)[:, None]
+    col_positions = np.linspace(0, 1, cols)[None, :]
+    weights = np.zeros(shape)
+    for _ in range(n_clusters):
+        center = rng.uniform(0.1, 0.9, size=2)
+        widths = spread * rng.uniform(0.5, 2.0, size=2)
+        height = rng.uniform(0.2, 1.0)
+        weights += height * np.exp(
+            -0.5 * (((row_positions - center[0]) / widths[0]) ** 2
+                    + ((col_positions - center[1]) / widths[1]) ** 2)
+        )
+    return _normalise(weights)
+
+
+def sparse_cluster_shape_2d(shape: tuple[int, int], n_points: int = 200,
+                            rng: np.random.Generator | int | None = None) -> np.ndarray:
+    """Very sparse 2-D shape made of isolated occupied cells (ADULT-2D style)."""
+    rng = as_rng(rng)
+    rows, cols = shape
+    weights = np.zeros(shape)
+    # Concentrate points near one corner with a heavy tail, like capital
+    # gain/loss attributes where most mass is near zero.
+    r = np.minimum((rng.pareto(1.5, size=n_points) * 0.05 * rows).astype(int), rows - 1)
+    c = np.minimum((rng.pareto(1.5, size=n_points) * 0.05 * cols).astype(int), cols - 1)
+    values = rng.pareto(1.0, size=n_points) + 1.0
+    for i, j, v in zip(r, c, values):
+        weights[i, j] += v
+    return _normalise(weights)
+
+
+#: Shape families used to synthesise *training* data for the parameter-tuning
+#: procedure (Section 6.4: "we train on shape distributions synthetically
+#: generated from power law and normal distributions").
+TRAINING_SHAPE_FAMILIES = {
+    "power_law": power_law_shape,
+    "normal": normal_shape,
+}

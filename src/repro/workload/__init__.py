@@ -1,0 +1,22 @@
+"""Range-query workloads and fast evaluation utilities."""
+
+from .builders import (
+    all_range_workload,
+    default_workload,
+    identity_workload,
+    prefix_workload,
+    random_range_workload,
+)
+from .prefix_sum import PrefixSum
+from .rangequery import RangeQuery, Workload
+
+__all__ = [
+    "RangeQuery",
+    "Workload",
+    "PrefixSum",
+    "prefix_workload",
+    "identity_workload",
+    "all_range_workload",
+    "random_range_workload",
+    "default_workload",
+]

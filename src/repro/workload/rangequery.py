@@ -1,0 +1,173 @@
+"""Range queries and workloads.
+
+A :class:`RangeQuery` is an axis-aligned inclusive hyper-rectangle over a
+1-D or 2-D count array ``x``; its answer is the sum of the cells it covers.
+A :class:`Workload` is an ordered collection of range queries over a common
+domain, with vectorised evaluation and (for small domains) a dense matrix
+representation used by matrix-mechanism style analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from .prefix_sum import PrefixSum
+
+__all__ = ["RangeQuery", "Workload"]
+
+
+@dataclass(frozen=True)
+class RangeQuery:
+    """An inclusive axis-aligned range query.
+
+    ``lo`` and ``hi`` are tuples of per-dimension inclusive bounds; a 1-D
+    query over cells ``3..7`` is ``RangeQuery((3,), (7,))``.
+    """
+
+    lo: tuple[int, ...]
+    hi: tuple[int, ...]
+
+    def __post_init__(self):
+        if len(self.lo) != len(self.hi):
+            raise ValueError("lo and hi must have the same dimensionality")
+        if len(self.lo) not in (1, 2):
+            raise ValueError("only 1-D and 2-D queries are supported")
+        for a, b in zip(self.lo, self.hi):
+            if a < 0 or b < a:
+                raise ValueError(f"invalid range [{a}, {b}]")
+
+    @property
+    def ndim(self) -> int:
+        return len(self.lo)
+
+    @property
+    def size(self) -> int:
+        """Number of cells covered by the query."""
+        size = 1
+        for a, b in zip(self.lo, self.hi):
+            size *= b - a + 1
+        return size
+
+    def contains_cell(self, index: tuple[int, ...]) -> bool:
+        return all(a <= i <= b for a, b, i in zip(self.lo, self.hi, index))
+
+    def evaluate(self, x: np.ndarray) -> float:
+        """Answer the query against a count array ``x``."""
+        x = np.asarray(x)
+        if x.ndim != self.ndim:
+            raise ValueError(f"query is {self.ndim}-D but data is {x.ndim}-D")
+        slices = tuple(slice(a, b + 1) for a, b in zip(self.lo, self.hi))
+        return float(x[slices].sum())
+
+
+class Workload:
+    """An ordered set of range queries over a fixed domain.
+
+    Parameters
+    ----------
+    queries:
+        The range queries, all of the same dimensionality.
+    domain_shape:
+        Shape of the count array the queries refer to, e.g. ``(4096,)`` or
+        ``(128, 128)``.  Every query must fit inside the domain.
+    name:
+        Optional human-readable name used in reports.
+    """
+
+    def __init__(
+        self,
+        queries: Sequence[RangeQuery] | Iterable[RangeQuery],
+        domain_shape: tuple[int, ...],
+        name: str = "workload",
+    ):
+        queries = list(queries)
+        if not queries:
+            raise ValueError("a workload must contain at least one query")
+        domain_shape = tuple(int(d) for d in domain_shape)
+        ndim = len(domain_shape)
+        for q in queries:
+            if q.ndim != ndim:
+                raise ValueError("all queries must match the domain dimensionality")
+            if any(h >= d for h, d in zip(q.hi, domain_shape)):
+                raise ValueError(f"query {q} exceeds domain {domain_shape}")
+        self._queries = queries
+        self._domain_shape = domain_shape
+        self.name = name
+        self._los = np.array([q.lo for q in queries], dtype=np.intp)
+        self._his = np.array([q.hi for q in queries], dtype=np.intp)
+
+    # -- basic container protocol -------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __iter__(self) -> Iterator[RangeQuery]:
+        return iter(self._queries)
+
+    def __getitem__(self, i: int) -> RangeQuery:
+        return self._queries[i]
+
+    @property
+    def queries(self) -> list[RangeQuery]:
+        return list(self._queries)
+
+    @property
+    def domain_shape(self) -> tuple[int, ...]:
+        return self._domain_shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self._domain_shape)
+
+    @property
+    def domain_size(self) -> int:
+        return int(np.prod(self._domain_shape))
+
+    # -- evaluation ---------------------------------------------------------------
+    def evaluate(self, x: np.ndarray) -> np.ndarray:
+        """Answer every query against ``x`` (returned in workload order)."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != self._domain_shape:
+            raise ValueError(
+                f"data shape {x.shape} does not match workload domain {self._domain_shape}"
+            )
+        return PrefixSum(x).range_sums(self._los, self._his)
+
+    def sensitivity(self) -> int:
+        """L1 sensitivity of the workload: the maximum number of queries any
+        single cell participates in (adding one record changes that many
+        answers by one each)."""
+        counts = np.zeros(self._domain_shape, dtype=np.int64)
+        if self.ndim == 1:
+            for lo, hi in zip(self._los, self._his):
+                counts[lo[0] : hi[0] + 1] += 1
+        else:
+            for lo, hi in zip(self._los, self._his):
+                counts[lo[0] : hi[0] + 1, lo[1] : hi[1] + 1] += 1
+        return int(counts.max())
+
+    def to_matrix(self) -> np.ndarray:
+        """Dense query matrix ``W`` such that ``W @ x.ravel()`` answers the
+        workload.  Intended for small domains (tests, analyses)."""
+        n = self.domain_size
+        matrix = np.zeros((len(self), n))
+        for row, query in enumerate(self._queries):
+            indicator = np.zeros(self._domain_shape)
+            slices = tuple(slice(a, b + 1) for a, b in zip(query.lo, query.hi))
+            indicator[slices] = 1.0
+            matrix[row] = indicator.ravel()
+        return matrix
+
+    def restricted_to(self, domain_shape: tuple[int, ...]) -> "Workload":
+        """Clip every query to a smaller domain (used when coarsening)."""
+        clipped = []
+        for q in self._queries:
+            hi = tuple(min(h, d - 1) for h, d in zip(q.hi, domain_shape))
+            lo = tuple(min(l, d - 1) for l, d in zip(q.lo, domain_shape))
+            clipped.append(RangeQuery(lo, hi))
+        return Workload(clipped, domain_shape, name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Workload(name={self.name!r}, queries={len(self)}, domain={self._domain_shape})"

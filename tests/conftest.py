@@ -1,0 +1,43 @@
+"""Shared fixtures for the DPBench reproduction test-suite.
+
+Tests run on deliberately small domains (32-256 cells) and few trials so the
+whole suite stays fast; the statistical assertions are written with tolerances
+appropriate to those sample sizes and fixed seeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import prefix_workload, random_range_workload
+from repro.data import gaussian_mixture_shape_2d, power_law_shape
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def small_1d(rng):
+    """A sparse, skewed 1-D count vector of domain 64 and scale ~5000."""
+    shape = power_law_shape(64, alpha=1.3, rng=rng)
+    return rng.multinomial(5000, shape).astype(float)
+
+
+@pytest.fixture
+def small_2d(rng):
+    """A clustered 2-D count array of domain 16x16 and scale ~5000."""
+    shape = gaussian_mixture_shape_2d((16, 16), n_clusters=3, rng=rng)
+    return rng.multinomial(5000, shape.ravel()).astype(float).reshape(16, 16)
+
+
+@pytest.fixture
+def workload_1d(small_1d):
+    return prefix_workload(small_1d.size)
+
+
+@pytest.fixture
+def workload_2d(small_2d, rng):
+    return random_range_workload(small_2d.shape, n_queries=100, rng=rng)

@@ -1,0 +1,257 @@
+"""Behavioural tests for the 1-D data-dependent algorithms
+(MWEM/MWEM*, AHP/AHP*, DAWA, PHP, EFPA, SF, DPCube)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    AHP,
+    AHPStar,
+    DAWA,
+    DPCube,
+    EFPA,
+    Identity,
+    MWEM,
+    MWEMStar,
+    PHP,
+    StructureFirst,
+    prefix_workload,
+    scaled_average_per_query_error,
+)
+from repro.algorithms.ahp import greedy_value_clustering
+from repro.algorithms.dawa import l1_partition
+from repro.algorithms.mwem import default_mwem_rounds, multiplicative_weights_update
+
+
+def _mean_error(algorithm, x, workload, epsilon, trials=6, seed=0):
+    truth = workload.evaluate(x)
+    errors = []
+    for t in range(trials):
+        estimate = algorithm.run(x, epsilon, workload=workload, rng=seed + t)
+        errors.append(scaled_average_per_query_error(truth, workload.evaluate(estimate), x.sum()))
+    return float(np.mean(errors))
+
+
+@pytest.fixture(scope="module")
+def piecewise_uniform():
+    """A shape that partitioning algorithms should exploit: two flat regions."""
+    x = np.concatenate([np.full(64, 200.0), np.full(64, 2.0)])
+    return x, prefix_workload(128)
+
+
+@pytest.fixture(scope="module")
+def sparse_small_scale():
+    """Small-scale sparse data: the regime where data dependence wins."""
+    rng = np.random.default_rng(9)
+    shape = np.zeros(256)
+    shape[rng.choice(256, 10, replace=False)] = rng.random(10)
+    shape /= shape.sum()
+    x = rng.multinomial(1000, shape).astype(float)
+    return x, prefix_workload(256)
+
+
+class TestMWEM:
+    def test_rounds_rule_monotone_and_bounded(self):
+        products = [10, 1e3, 1e5, 1e7, 1e9]
+        rounds = [default_mwem_rounds(p) for p in products]
+        assert rounds == sorted(rounds)
+        assert all(2 <= r <= 100 for r in rounds)
+
+    def test_rounds_rule_matches_paper_extremes(self):
+        assert default_mwem_rounds(1e2) == 2          # smallest scale regime
+        assert default_mwem_rounds(1e8) >= 80         # largest scale regime
+
+    def test_mw_update_moves_toward_measurement(self):
+        estimate = np.full(8, 10.0)
+        mask = np.zeros(8)
+        mask[:4] = 1.0
+        updated = multiplicative_weights_update(estimate, mask, measured_answer=60.0, total=80.0)
+        assert updated[:4].sum() > estimate[:4].sum()
+        assert updated.sum() == pytest.approx(80.0)
+
+    def test_mw_update_preserves_total(self):
+        rng = np.random.default_rng(0)
+        estimate = rng.random(16) * 5
+        total = estimate.sum()
+        mask = np.zeros(16)
+        mask[3:9] = 1
+        updated = multiplicative_weights_update(estimate, mask, 12.0, total)
+        assert updated.sum() == pytest.approx(total)
+
+    def test_estimate_total_close_to_scale(self, sparse_small_scale):
+        x, workload = sparse_small_scale
+        estimate = MWEM().run(x, 1.0, workload=workload, rng=0)
+        assert estimate.sum() == pytest.approx(x.sum(), rel=0.05)
+
+    def test_beats_uniform_start_on_sparse_data(self, sparse_small_scale):
+        x, workload = sparse_small_scale
+        uniform_start = np.full(x.shape, x.sum() / x.size)
+        truth = workload.evaluate(x)
+        start_error = scaled_average_per_query_error(truth, workload.evaluate(uniform_start), x.sum())
+        assert _mean_error(MWEM(), x, workload, 1.0) < start_error
+
+    def test_star_variant_does_not_use_exact_scale(self, sparse_small_scale):
+        # MWEM* spends budget on a noisy scale; with a tiny budget the noisy
+        # scale should differ from the true scale (checks the repair wiring).
+        x, workload = sparse_small_scale
+        estimate = MWEMStar(scale_budget_fraction=0.5).run(x, 0.01, workload=workload, rng=3)
+        assert estimate.sum() != pytest.approx(x.sum(), abs=1e-6)
+
+    def test_star_rounds_override(self):
+        algorithm = MWEMStar(rounds=7)
+        assert algorithm._resolve_rounds(0.1, 1e6) == 7
+
+
+class TestAHP:
+    def test_clustering_groups_equal_values(self):
+        values = np.array([0.0, 0.0, 5.0, 5.0, 9.0])
+        clusters = greedy_value_clustering(values, tolerance=0.0)
+        assert [len(c) for c in clusters] == [2, 2, 1]
+
+    def test_clustering_tolerance_merges(self):
+        values = np.array([1.0, 1.4, 1.8, 5.0])
+        clusters = greedy_value_clustering(values, tolerance=1.0)
+        assert len(clusters) == 2
+
+    def test_clustering_empty(self):
+        assert greedy_value_clustering(np.array([]), 1.0) == []
+
+    def test_invalid_rho_rejected(self, piecewise_uniform):
+        x, workload = piecewise_uniform
+        with pytest.raises(ValueError):
+            AHP(rho=1.5).run(x, 1.0, workload=workload, rng=0)
+
+    def test_consistent_at_huge_epsilon(self, piecewise_uniform):
+        x, workload = piecewise_uniform
+        estimate = AHP().run(x, 1e7, workload=workload, rng=0)
+        assert np.allclose(estimate, x, atol=1e-2)
+
+    def test_star_variant_uses_different_defaults(self):
+        assert AHPStar().params["rho"] != AHP().params["rho"]
+
+    def test_beats_identity_on_sparse_small_scale_data(self, sparse_small_scale):
+        # The regime of Finding 1: at low signal on sparse data, partitioning
+        # algorithms beat the Laplace-mechanism baseline.
+        x, workload = sparse_small_scale
+        assert _mean_error(AHP(), x, workload, 0.01) < _mean_error(Identity(), x, workload, 0.01)
+
+
+class TestDAWA:
+    def test_partition_covers_domain(self):
+        noisy = np.random.default_rng(0).random(100)
+        buckets = l1_partition(noisy, bucket_penalty=1.0)
+        assert buckets[0][0] == 0 and buckets[-1][1] == 100
+        for (a, b), (c, d) in zip(buckets[:-1], buckets[1:]):
+            assert b == c and a < b
+
+    def test_partition_merges_uniform_regions(self):
+        # Perfectly uniform data with a high bucket penalty -> few buckets.
+        noisy = np.full(64, 5.0)
+        buckets = l1_partition(noisy, bucket_penalty=100.0)
+        assert len(buckets) <= 4
+
+    def test_partition_splits_distinct_regions(self):
+        noisy = np.concatenate([np.zeros(32), np.full(32, 1000.0)])
+        buckets = l1_partition(noisy, bucket_penalty=0.5)
+        boundaries = {b for _, b in buckets}
+        assert 32 in boundaries
+
+    def test_penalty_controls_granularity(self):
+        noisy = np.random.default_rng(1).random(128) * 10
+        fine = l1_partition(noisy, bucket_penalty=0.01)
+        coarse = l1_partition(noisy, bucket_penalty=1000.0)
+        assert len(fine) > len(coarse)
+
+    def test_beats_identity_on_sparse_small_scale_data(self, sparse_small_scale):
+        x, workload = sparse_small_scale
+        assert _mean_error(DAWA(), x, workload, 0.01) < _mean_error(Identity(), x, workload, 0.01)
+
+    def test_near_exact_at_huge_epsilon(self, piecewise_uniform):
+        x, workload = piecewise_uniform
+        estimate = DAWA().run(x, 1e8, workload=workload, rng=0)
+        truth = workload.evaluate(x)
+        error = scaled_average_per_query_error(truth, workload.evaluate(estimate), x.sum())
+        assert error < 1e-6
+
+    def test_2d_input(self):
+        x = np.random.default_rng(2).random((16, 16)) * 10
+        estimate = DAWA().run(x, 1.0, rng=0)
+        assert estimate.shape == (16, 16)
+
+
+class TestPHP:
+    def test_bucket_structure_bias_remains(self):
+        # Strictly increasing data cannot be represented by log2(n)+1 buckets,
+        # so PHP keeps a bias even at enormous epsilon (Theorem 6).
+        x = np.arange(1, 129, dtype=float)
+        workload = prefix_workload(128)
+        error = _mean_error(PHP(), x, workload, 1e7, trials=2)
+        assert error > 1e-6
+
+    def test_recovers_two_level_histogram(self):
+        x = np.concatenate([np.full(64, 100.0), np.zeros(64)])
+        estimate = PHP().run(x, 1e6, rng=0)
+        assert np.allclose(estimate, x, atol=1.0)
+
+    def test_beats_identity_on_flat_sparse_data_low_signal(self):
+        x = np.zeros(256)
+        x[:4] = 50.0
+        workload = prefix_workload(256)
+        assert _mean_error(PHP(), x, workload, 0.01) < _mean_error(Identity(), x, workload, 0.01)
+
+
+class TestEFPA:
+    def test_near_exact_at_huge_epsilon(self, piecewise_uniform):
+        x, workload = piecewise_uniform
+        estimate = EFPA().run(x, 1e8, rng=0)
+        assert np.allclose(estimate, x, atol=1e-2)
+
+    def test_compressible_data_beats_identity(self):
+        # A constant vector is captured by a single frequency coefficient, so
+        # EFPA's lossy compression wins decisively over per-cell noise.
+        n = 256
+        x = np.full(n, 50.0)
+        workload = prefix_workload(n)
+        assert _mean_error(EFPA(), x, workload, 0.05) < _mean_error(Identity(), x, workload, 0.05)
+
+
+class TestSF:
+    def test_default_bucket_count_rule(self):
+        x = np.random.default_rng(3).random(200) * 10
+        algorithm = StructureFirst()
+        boundaries = algorithm._select_boundaries(x, 20, 1.0, 100.0, np.random.default_rng(0))
+        assert boundaries[0] == 0 and boundaries[-1] == 200
+        assert len(boundaries) <= 21 + 1
+
+    def test_respects_explicit_bucket_count(self):
+        x = np.random.default_rng(4).random(64) * 10
+        estimate = StructureFirst(buckets=4).run(x, 1.0, rng=0)
+        assert estimate.shape == x.shape
+
+    def test_consistent_with_inner_hierarchy(self):
+        x = np.arange(64, dtype=float)
+        estimate = StructureFirst().run(x, 1e8, rng=0)
+        assert np.allclose(estimate, x, atol=1e-2)
+
+    def test_count_bound_side_information_default(self):
+        x = np.full(32, 3.0)
+        algorithm = StructureFirst()
+        algorithm.run(x, 1.0, rng=0)
+        # default count_bound picks up the true scale lazily; the parameter
+        # itself stays None so repairs can replace it.
+        assert algorithm.params["count_bound"] is None
+
+
+class TestDPCube1D:
+    def test_near_exact_at_huge_epsilon(self, piecewise_uniform):
+        x, workload = piecewise_uniform
+        estimate = DPCube().run(x, 1e8, rng=0)
+        assert np.allclose(estimate, x, atol=1e-2)
+
+    def test_partition_count_respected(self):
+        blocks = DPCube._kd_partition(np.random.default_rng(5).random(64), 10)
+        assert len(blocks) <= 10
+        covered = np.zeros(64, dtype=int)
+        for block in blocks:
+            covered[block] += 1
+        assert np.all(covered == 1)

@@ -1,0 +1,162 @@
+"""Behavioural tests for the data-independent algorithms
+(Identity, Uniform baseline, Privelet, H, Hb, GreedyH)."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    GreedyH,
+    HierarchicalH,
+    HierarchicalHb,
+    Identity,
+    Privelet,
+    Uniform,
+    prefix_workload,
+    scaled_average_per_query_error,
+)
+from repro.algorithms.greedy_h import greedy_budget_allocation
+from repro.algorithms.tree import optimal_branching
+
+
+def _mean_error(algorithm, x, workload, epsilon, trials=8, seed=0):
+    truth = workload.evaluate(x)
+    errors = []
+    for t in range(trials):
+        estimate = algorithm.run(x, epsilon, workload=workload, rng=seed + t)
+        errors.append(scaled_average_per_query_error(truth, workload.evaluate(estimate), x.sum()))
+    return float(np.mean(errors))
+
+
+@pytest.fixture(scope="module")
+def skewed_1d():
+    rng = np.random.default_rng(5)
+    weights = np.zeros(128)
+    weights[:8] = 100.0
+    weights[8:] = 0.5
+    x = rng.multinomial(20_000, weights / weights.sum()).astype(float)
+    return x, prefix_workload(128)
+
+
+class TestIdentity:
+    def test_unbiased(self):
+        x = np.full(64, 10.0)
+        estimates = np.array([Identity().run(x, 1.0, rng=s) for s in range(200)])
+        assert np.allclose(estimates.mean(axis=0), x, atol=0.6)
+
+    def test_error_matches_laplace_theory(self):
+        # Per-cell variance is 2/eps^2.
+        x = np.zeros(2000)
+        estimate = Identity().run(x, 0.5, rng=0)
+        assert abs(estimate.var() - 2 / 0.25) / (2 / 0.25) < 0.15
+
+    def test_error_halves_when_epsilon_doubles(self, skewed_1d):
+        x, workload = skewed_1d
+        error_low = _mean_error(Identity(), x, workload, 0.05)
+        error_high = _mean_error(Identity(), x, workload, 0.4)
+        assert error_high < error_low / 4
+
+
+class TestUniform:
+    def test_output_is_flat(self, skewed_1d):
+        x, _ = skewed_1d
+        estimate = Uniform().run(x, 1.0, rng=0)
+        assert np.allclose(estimate, estimate[0])
+
+    def test_total_preserved_approximately(self, skewed_1d):
+        x, _ = skewed_1d
+        estimate = Uniform().run(x, 10.0, rng=0)
+        assert estimate.sum() == pytest.approx(x.sum(), rel=0.05)
+
+    def test_biased_on_skewed_data_even_at_huge_epsilon(self, skewed_1d):
+        x, workload = skewed_1d
+        error = _mean_error(Uniform(), x, workload, 1e6, trials=2)
+        assert error > 1e-4      # bias does not vanish: inconsistent
+
+    def test_beats_identity_on_uniform_data_at_low_epsilon(self):
+        rng = np.random.default_rng(0)
+        x = rng.multinomial(2000, np.ones(256) / 256).astype(float)
+        workload = prefix_workload(256)
+        assert _mean_error(Uniform(), x, workload, 0.01) < _mean_error(Identity(), x, workload, 0.01)
+
+
+class TestPrivelet:
+    def test_beats_identity_on_large_domain_prefix_workload(self):
+        rng = np.random.default_rng(1)
+        x = rng.multinomial(50_000, np.ones(1024) / 1024).astype(float)
+        workload = prefix_workload(1024)
+        assert _mean_error(Privelet(), x, workload, 0.1, trials=5) < \
+            _mean_error(Identity(), x, workload, 0.1, trials=5)
+
+    def test_2d_shape(self):
+        x = np.random.default_rng(2).random((16, 12)) * 10
+        estimate = Privelet().run(x, 1.0, rng=0)
+        assert estimate.shape == (16, 12)
+
+    def test_near_exact_at_huge_epsilon(self, skewed_1d):
+        x, _ = skewed_1d
+        estimate = Privelet().run(x, 1e8, rng=0)
+        assert np.allclose(estimate, x, atol=1e-3)
+
+
+class TestHierarchical:
+    def test_h_near_exact_at_huge_epsilon(self, skewed_1d):
+        x, _ = skewed_1d
+        estimate = HierarchicalH().run(x, 1e8, rng=0)
+        assert np.allclose(estimate, x, atol=1e-3)
+
+    def test_hb_uses_larger_branching_on_large_domain(self):
+        assert optimal_branching(4096) > optimal_branching(64) or optimal_branching(64) == 2
+
+    def test_hb_beats_identity_on_prefix_workload(self):
+        rng = np.random.default_rng(3)
+        x = rng.multinomial(100_000, np.ones(512) / 512).astype(float)
+        workload = prefix_workload(512)
+        assert _mean_error(HierarchicalHb(), x, workload, 0.1, trials=5) < \
+            _mean_error(Identity(), x, workload, 0.1, trials=5)
+
+    def test_h_is_1d_only_per_table1(self):
+        with pytest.raises(ValueError):
+            HierarchicalH().run(np.ones((8, 8)), 1.0, rng=0)
+
+    def test_hb_supports_2d(self):
+        x = np.random.default_rng(4).random((8, 8)) * 5
+        estimate = HierarchicalHb().run(x, 1.0, rng=0)
+        assert estimate.shape == (8, 8)
+
+    def test_error_independent_of_shape(self):
+        # Data-independent: expected error should be statistically similar on
+        # two very different shapes of the same scale and domain.
+        rng = np.random.default_rng(6)
+        workload = prefix_workload(128)
+        uniform = rng.multinomial(10_000, np.ones(128) / 128).astype(float)
+        spiky = np.zeros(128)
+        spiky[0] = 10_000
+        err_uniform = _mean_error(HierarchicalHb(), uniform, workload, 0.1, trials=15)
+        err_spiky = _mean_error(HierarchicalHb(), spiky, workload, 0.1, trials=15)
+        assert err_uniform == pytest.approx(err_spiky, rel=0.5)
+
+
+class TestGreedyH:
+    def test_budget_allocation_sums_to_epsilon(self):
+        usage = np.array([1.0, 4.0, 10.0, 50.0])
+        allocation = greedy_budget_allocation(usage, 0.7)
+        assert allocation.sum() == pytest.approx(0.7)
+        assert np.all(allocation >= 0)
+
+    def test_busier_levels_get_more_budget(self):
+        allocation = greedy_budget_allocation(np.array([1.0, 100.0, 1.0]), 1.0)
+        assert allocation[1] > allocation[0]
+
+    def test_zero_usage_handled(self):
+        allocation = greedy_budget_allocation(np.zeros(4), 1.0)
+        assert allocation.sum() == pytest.approx(1.0)
+
+    def test_near_exact_at_huge_epsilon(self, skewed_1d):
+        x, workload = skewed_1d
+        estimate = GreedyH().run(x, 1e8, workload=workload, rng=0)
+        assert np.allclose(estimate, x, atol=1e-3)
+
+    def test_2d_via_hilbert(self):
+        x = np.random.default_rng(5).random((16, 16)) * 20
+        estimate = GreedyH().run(x, 1.0, rng=0)
+        assert estimate.shape == (16, 16)

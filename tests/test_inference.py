@@ -1,0 +1,100 @@
+"""Unit tests for least-squares consistency on hierarchical trees."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.inference import inverse_variance_combine, tree_least_squares
+from repro.algorithms.tree import HierarchicalTree
+
+
+class TestInverseVarianceCombine:
+    def test_equal_variances_average(self):
+        estimate, variance = inverse_variance_combine(np.array([2.0, 4.0]), np.array([1.0, 1.0]))
+        assert estimate == pytest.approx(3.0)
+        assert variance == pytest.approx(0.5)
+
+    def test_prefers_precise_measurement(self):
+        estimate, _ = inverse_variance_combine(np.array([0.0, 10.0]), np.array([100.0, 0.01]))
+        assert estimate == pytest.approx(10.0, abs=0.1)
+
+    def test_all_infinite_variances(self):
+        estimate, variance = inverse_variance_combine(np.array([1.0, 3.0]),
+                                                      np.array([np.inf, np.inf]))
+        assert estimate == pytest.approx(2.0)
+        assert variance == np.inf
+
+
+class TestTreeLeastSquares:
+    def _measure(self, tree, x, noise=0.0, rng=None):
+        totals = tree.node_totals(x)
+        if noise:
+            totals = totals + rng.normal(0, noise, size=totals.shape)
+        variances = np.full(len(tree.nodes), max(noise, 1e-12) ** 2 * 2 + 1e-12)
+        return totals, variances
+
+    def test_exact_measurements_recovered(self):
+        x = np.arange(16, dtype=float)
+        tree = HierarchicalTree((16,), branching=2)
+        totals, variances = self._measure(tree, x)
+        consistent = tree_least_squares(tree, totals, variances)
+        leaf_values = np.zeros(16)
+        for leaf in tree.leaves():
+            leaf_values[leaf.slices()] = consistent[leaf.index]
+        assert np.allclose(leaf_values, x, atol=1e-6)
+
+    def test_output_is_consistent(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 20, size=32).astype(float)
+        tree = HierarchicalTree((32,), branching=2)
+        totals, variances = self._measure(tree, x, noise=3.0, rng=rng)
+        consistent = tree_least_squares(tree, totals, variances)
+        for node in tree.nodes:
+            if node.is_leaf:
+                continue
+            child_sum = sum(consistent[c] for c in node.children)
+            assert consistent[node.index] == pytest.approx(child_sum, abs=1e-6)
+
+    def test_reduces_leaf_error_vs_raw(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 50, size=64).astype(float)
+        tree = HierarchicalTree((64,), branching=2)
+        raw_errors, ls_errors = [], []
+        for seed in range(20):
+            trial_rng = np.random.default_rng(seed)
+            noisy = tree.node_totals(x) + trial_rng.laplace(0, 5.0, size=len(tree.nodes))
+            variances = np.full(len(tree.nodes), 2 * 5.0 ** 2)
+            consistent = tree_least_squares(tree, noisy, variances)
+            leaf_ls = np.array([consistent[l.index] for l in tree.leaves()])
+            leaf_raw = np.array([noisy[l.index] for l in tree.leaves()])
+            truth = np.array([x[l.slices()].sum() for l in tree.leaves()])
+            raw_errors.append(np.mean((leaf_raw - truth) ** 2))
+            ls_errors.append(np.mean((leaf_ls - truth) ** 2))
+        assert np.mean(ls_errors) < np.mean(raw_errors)
+
+    def test_unmeasured_nodes_are_reconstructed(self):
+        x = np.arange(8, dtype=float)
+        tree = HierarchicalTree((8,), branching=2)
+        totals = tree.node_totals(x)
+        variances = np.full(len(tree.nodes), 1e-12)
+        # Drop the root measurement entirely.
+        totals[0] = np.nan
+        variances[0] = np.inf
+        consistent = tree_least_squares(tree, totals, variances)
+        assert consistent[0] == pytest.approx(x.sum(), rel=1e-6)
+
+    def test_shape_validation(self):
+        tree = HierarchicalTree((8,), branching=2)
+        with pytest.raises(ValueError):
+            tree_least_squares(tree, np.zeros(3), np.zeros(3))
+
+    def test_weighted_levels_favor_precise_level(self):
+        # Give the root a very precise measurement and the leaves a very noisy
+        # one; the consistent root should stay near the precise measurement.
+        x = np.full(16, 10.0)
+        tree = HierarchicalTree((16,), branching=2)
+        totals = tree.node_totals(x).astype(float)
+        variances = np.full(len(tree.nodes), 1e6)
+        totals[0] = 170.0            # true total is 160
+        variances[0] = 1e-6
+        consistent = tree_least_squares(tree, totals, variances)
+        assert consistent[0] == pytest.approx(170.0, abs=0.1)

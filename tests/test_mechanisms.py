@@ -1,0 +1,179 @@
+"""Unit tests for the DP primitives in repro.algorithms.mechanisms."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.mechanisms import (
+    BudgetExceededError,
+    PrivacyBudget,
+    as_rng,
+    exponential_mechanism,
+    geometric_mechanism,
+    laplace_mechanism,
+    laplace_noise,
+)
+
+
+class TestAsRng:
+    def test_passthrough_generator(self):
+        rng = np.random.default_rng(1)
+        assert as_rng(rng) is rng
+
+    def test_seed_is_deterministic(self):
+        assert as_rng(7).normal() == as_rng(7).normal()
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            as_rng("not a seed")
+
+
+class TestLaplaceNoise:
+    def test_zero_scale_is_exact(self):
+        noise = laplace_noise(0.0, (10,), as_rng(0))
+        assert np.all(noise == 0)
+
+    def test_negative_scale_rejected(self):
+        with pytest.raises(ValueError):
+            laplace_noise(-1.0, (3,), as_rng(0))
+
+    def test_infinite_scale_rejected(self):
+        with pytest.raises(ValueError):
+            laplace_noise(float("inf"), (3,), as_rng(0))
+
+    def test_mean_and_variance(self):
+        noise = laplace_noise(2.0, 200_000, as_rng(0))
+        assert abs(noise.mean()) < 0.05
+        # Var of Laplace(b) is 2 b^2 = 8.
+        assert abs(noise.var() - 8.0) < 0.3
+
+    def test_shape(self):
+        assert laplace_noise(1.0, (4, 5), as_rng(0)).shape == (4, 5)
+
+
+class TestLaplaceMechanism:
+    def test_requires_positive_epsilon(self):
+        with pytest.raises(ValueError):
+            laplace_mechanism(np.ones(3), 0.0)
+
+    def test_requires_nonnegative_sensitivity(self):
+        with pytest.raises(ValueError):
+            laplace_mechanism(np.ones(3), 1.0, sensitivity=-1)
+
+    def test_infinite_epsilon_returns_exact(self):
+        values = np.arange(5, dtype=float)
+        assert np.array_equal(laplace_mechanism(values, float("inf"), rng=0), values)
+
+    def test_noise_scale_matches_sensitivity_over_epsilon(self):
+        values = np.zeros(100_000)
+        noisy = laplace_mechanism(values, epsilon=0.5, sensitivity=2.0, rng=0)
+        # scale = 4 -> variance 32
+        assert abs(noisy.var() - 32.0) / 32.0 < 0.05
+
+    def test_unbiasedness(self):
+        values = np.full(100_000, 7.0)
+        noisy = laplace_mechanism(values, epsilon=1.0, rng=0)
+        assert abs(noisy.mean() - 7.0) < 0.05
+
+
+class TestGeometricMechanism:
+    def test_integer_output(self):
+        out = geometric_mechanism(np.arange(10, dtype=float), 0.5, rng=0)
+        assert np.allclose(out, np.rint(out))
+
+    def test_infinite_epsilon_rounds(self):
+        out = geometric_mechanism(np.array([1.2, 3.7]), float("inf"), rng=0)
+        assert np.array_equal(out, [1.0, 4.0])
+
+    def test_requires_positive_epsilon(self):
+        with pytest.raises(ValueError):
+            geometric_mechanism(np.ones(3), -1.0)
+
+    def test_roughly_centered(self):
+        out = geometric_mechanism(np.zeros(50_000), 1.0, rng=0)
+        assert abs(out.mean()) < 0.1
+
+
+class TestExponentialMechanism:
+    def test_infinite_epsilon_returns_argmax(self):
+        scores = np.array([1.0, 5.0, 3.0])
+        assert exponential_mechanism(scores, float("inf"), rng=0) == 1
+
+    def test_prefers_high_scores(self):
+        scores = np.array([0.0, 0.0, 50.0, 0.0])
+        picks = [exponential_mechanism(scores, 2.0, rng=np.random.default_rng(i))
+                 for i in range(200)]
+        assert np.mean(np.array(picks) == 2) > 0.9
+
+    def test_low_epsilon_is_close_to_uniform(self):
+        scores = np.array([0.0, 1.0])
+        picks = [exponential_mechanism(scores, 1e-6, rng=np.random.default_rng(i))
+                 for i in range(2000)]
+        frequency = np.mean(np.array(picks) == 1)
+        assert 0.4 < frequency < 0.6
+
+    def test_rejects_empty_scores(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism(np.array([]), 1.0)
+
+    def test_rejects_bad_epsilon_and_sensitivity(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism(np.array([1.0]), 0.0)
+        with pytest.raises(ValueError):
+            exponential_mechanism(np.array([1.0]), 1.0, sensitivity=0.0)
+
+    def test_numerically_stable_with_huge_scores(self):
+        scores = np.array([1e9, 1e9 + 1])
+        index = exponential_mechanism(scores, 1.0, rng=0)
+        assert index in (0, 1)
+
+
+class TestPrivacyBudget:
+    def test_accounting(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.25, "stage1")
+        assert budget.spent == pytest.approx(0.25)
+        assert budget.remaining == pytest.approx(0.75)
+        budget.spend_all("stage2")
+        assert budget.remaining == pytest.approx(0.0)
+
+    def test_overspend_raises(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.8)
+        with pytest.raises(BudgetExceededError):
+            budget.spend(0.3)
+
+    def test_spend_all_twice_raises(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend_all()
+        with pytest.raises(BudgetExceededError):
+            budget.spend_all()
+
+    def test_fractional_spending_sums_to_total(self):
+        budget = PrivacyBudget(2.0)
+        budget.spend_fraction(0.25)
+        budget.spend_fraction(0.75)
+        assert budget.remaining == pytest.approx(0.0, abs=1e-12)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            PrivacyBudget(0.0)
+        budget = PrivacyBudget(1.0)
+        with pytest.raises(ValueError):
+            budget.spend(-0.1)
+        with pytest.raises(ValueError):
+            budget.spend_fraction(1.5)
+
+    def test_log_records_labels(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.4, "partition")
+        budget.spend(0.6, "counts")
+        assert budget.log == [("partition", 0.4), ("counts", 0.6)]
+
+    def test_float_drift_tolerated(self):
+        budget = PrivacyBudget(1.0)
+        for _ in range(10):
+            budget.spend(0.1)
+        assert budget.remaining == pytest.approx(0.0, abs=1e-9)

@@ -1,0 +1,113 @@
+"""Empirical verification of the paper's theoretical analysis (Appendix C):
+scale-epsilon exchangeability and consistency, per algorithm.
+
+These tests regenerate (a statistically checkable fraction of) the
+"Consistent" and "Scale-Exch." columns of Table 1.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    check_consistency,
+    check_exchangeability,
+    consistency_curve,
+    exchangeability_ratio,
+    make_algorithm,
+    mean_scaled_error,
+    prefix_workload,
+)
+from repro.data import power_law_shape
+
+# Algorithms the paper proves consistent (restricted to 1-D so that one data
+# fixture serves all, and to those cheap enough for a unit test).
+CONSISTENT_1D = ["Identity", "Privelet", "H", "Hb", "GreedyH", "EFPA", "AHP", "DAWA", "DPCube", "SF"]
+INCONSISTENT_1D = ["Uniform", "MWEM", "MWEM*", "PHP"]
+EXCHANGEABLE_1D = ["Identity", "Hb", "Uniform", "MWEM", "DAWA", "PHP"]
+
+
+@pytest.fixture(scope="module")
+def structured_x():
+    """Non-uniform data with structure that biased algorithms cannot represent."""
+    rng = np.random.default_rng(3)
+    x = np.rint(rng.pareto(1.0, size=64) * 20) + np.arange(64) % 7
+    return x.astype(float)
+
+
+@pytest.fixture(scope="module")
+def workload(structured_x):
+    return prefix_workload(structured_x.size)
+
+
+class TestConsistency:
+    @pytest.mark.parametrize("name", CONSISTENT_1D)
+    def test_consistent_algorithms_have_vanishing_error(self, name, structured_x, workload):
+        algorithm = make_algorithm(name)
+        assert check_consistency(algorithm, structured_x, large_epsilon=1e6,
+                                 workload=workload, tolerance=1e-3, n_trials=2, rng=0)
+
+    @pytest.mark.parametrize("name", INCONSISTENT_1D)
+    def test_inconsistent_algorithms_retain_bias(self, name, structured_x, workload):
+        algorithm = make_algorithm(name)
+        assert not check_consistency(algorithm, structured_x, large_epsilon=1e6,
+                                     workload=workload, tolerance=1e-3, n_trials=2, rng=0)
+
+    def test_consistency_curve_decreases_for_identity(self, structured_x, workload):
+        curve = consistency_curve(make_algorithm("Identity"), structured_x,
+                                  epsilons=(0.1, 1.0, 10.0), workload=workload,
+                                  n_trials=4, rng=0)
+        values = list(curve.values())
+        assert values[0] > values[-1]
+
+    def test_consistency_curve_flattens_for_uniform(self, structured_x, workload):
+        curve = consistency_curve(make_algorithm("Uniform"), structured_x,
+                                  epsilons=(1.0, 1000.0), workload=workload,
+                                  n_trials=4, rng=0)
+        values = list(curve.values())
+        # The error at huge epsilon stays within a factor ~2 of the low-epsilon
+        # error: it is dominated by bias, not noise.
+        assert values[-1] > values[0] * 0.3
+
+    def test_metadata_matches_empirical_consistency(self, structured_x, workload):
+        # Spot-check that Table 1 metadata agrees with behaviour for a
+        # representative consistent / inconsistent pair.
+        from repro import ALGORITHM_REGISTRY
+        assert ALGORITHM_REGISTRY["DAWA"].properties.consistent
+        assert not ALGORITHM_REGISTRY["PHP"].properties.consistent
+
+
+class TestExchangeability:
+    @pytest.mark.parametrize("name", EXCHANGEABLE_1D)
+    def test_exchangeable_algorithms(self, name):
+        shape = power_law_shape(64, alpha=1.2, rng=0)
+        algorithm = make_algorithm(name)
+        assert check_exchangeability(algorithm, shape, product=2000.0,
+                                     factors=(1.0, 8.0), base_epsilon=0.8,
+                                     tolerance=0.6, n_trials=30, rng=1)
+
+    def test_exchangeability_ratio_reports_all_pairs(self):
+        shape = power_law_shape(32, rng=1)
+        report = exchangeability_ratio(make_algorithm("Identity"), shape,
+                                       [(1000, 1.0), (10_000, 0.1)], n_trials=20, rng=2)
+        assert len(report["errors"]) == 2
+        assert report["max_over_min"] >= 1.0
+
+    def test_mismatched_products_rejected(self):
+        shape = power_law_shape(32, rng=1)
+        with pytest.raises(ValueError):
+            exchangeability_ratio(make_algorithm("Identity"), shape,
+                                  [(1000, 1.0), (10_000, 1.0)])
+
+    def test_identity_error_scales_inversely_with_signal(self):
+        # Doubling epsilon*scale should roughly halve the scaled error.
+        shape = power_law_shape(64, rng=2)
+        x_small = shape * 1000
+        x_large = shape * 4000
+        algorithm = make_algorithm("Identity")
+        error_small = mean_scaled_error(algorithm, x_small, 0.5, n_trials=40, rng=3)
+        error_large = mean_scaled_error(algorithm, x_large, 0.5, n_trials=40, rng=4)
+        assert error_large == pytest.approx(error_small / 4, rel=0.4)
+
+    def test_sf_metadata_flags_non_exchangeability(self):
+        from repro import ALGORITHM_REGISTRY
+        assert not ALGORITHM_REGISTRY["SF"].properties.scale_epsilon_exchangeable

@@ -1,0 +1,111 @@
+"""Unit tests for the hierarchical-tree substrate."""
+
+import numpy as np
+import pytest
+
+from repro.workload import prefix_workload, random_range_workload
+from repro.algorithms.tree import HierarchicalTree, optimal_branching
+
+
+class TestTreeStructure:
+    def test_leaves_partition_domain_1d(self):
+        tree = HierarchicalTree((16,), branching=2)
+        covered = np.zeros(16, dtype=int)
+        for leaf in tree.leaves():
+            covered[leaf.slices()] += 1
+        assert np.all(covered == 1)
+        assert all(leaf.size == 1 for leaf in tree.leaves())
+
+    def test_leaves_partition_domain_2d(self):
+        tree = HierarchicalTree((8, 8), branching=2)
+        covered = np.zeros((8, 8), dtype=int)
+        for leaf in tree.leaves():
+            covered[leaf.slices()] += 1
+        assert np.all(covered == 1)
+
+    def test_non_power_of_two_domain(self):
+        tree = HierarchicalTree((13,), branching=2)
+        covered = np.zeros(13, dtype=int)
+        for leaf in tree.leaves():
+            covered[leaf.slices()] += 1
+        assert np.all(covered == 1)
+
+    def test_height_binary(self):
+        tree = HierarchicalTree((16,), branching=2)
+        assert tree.height == 4
+        assert tree.n_levels == 5
+
+    def test_branching_factor_respected(self):
+        tree = HierarchicalTree((27,), branching=3)
+        root = tree.nodes[0]
+        assert len(root.children) == 3
+
+    def test_max_height_produces_aggregated_leaves(self):
+        tree = HierarchicalTree((64,), branching=2, max_height=3)
+        assert tree.height == 3
+        assert all(leaf.size == 8 for leaf in tree.leaves())
+
+    def test_parent_equals_union_of_children(self):
+        tree = HierarchicalTree((32,), branching=2)
+        for node in tree.nodes:
+            if node.is_leaf:
+                continue
+            child_size = sum(tree.nodes[c].size for c in node.children)
+            assert child_size == node.size
+
+    def test_invalid_branching(self):
+        with pytest.raises(ValueError):
+            HierarchicalTree((8,), branching=1)
+
+    def test_node_totals(self):
+        x = np.arange(8, dtype=float)
+        tree = HierarchicalTree((8,), branching=2)
+        totals = tree.node_totals(x)
+        assert totals[0] == pytest.approx(x.sum())
+
+
+class TestRangeDecomposition:
+    @pytest.mark.parametrize("lo,hi", [(0, 15), (0, 0), (3, 11), (7, 8), (5, 5)])
+    def test_decomposition_covers_exactly_1d(self, lo, hi):
+        tree = HierarchicalTree((16,), branching=2)
+        x = np.random.default_rng(0).random(16)
+        nodes = tree.decompose_range((lo,), (hi,))
+        total = sum(x[tree.nodes[i].slices()].sum() for i in nodes)
+        assert total == pytest.approx(x[lo:hi + 1].sum())
+
+    def test_decomposition_is_logarithmic(self):
+        tree = HierarchicalTree((1024,), branching=2)
+        nodes = tree.decompose_range((1,), (1022,))
+        # A classic result: at most 2 * log2(n) nodes per range.
+        assert len(nodes) <= 2 * 10
+
+    def test_decomposition_2d(self):
+        tree = HierarchicalTree((8, 8), branching=2)
+        x = np.random.default_rng(1).random((8, 8))
+        nodes = tree.decompose_range((1, 2), (6, 5))
+        total = sum(x[tree.nodes[i].slices()].sum() for i in nodes)
+        assert total == pytest.approx(x[1:7, 2:6].sum())
+
+    def test_level_usage_prefix(self):
+        tree = HierarchicalTree((64,), branching=2)
+        usage = tree.level_usage(prefix_workload(64))
+        assert usage.sum() > 0
+        assert usage.shape == (tree.n_levels,)
+
+    def test_level_usage_random_2d(self):
+        tree = HierarchicalTree((16, 16), branching=2)
+        usage = tree.level_usage(random_range_workload((16, 16), 20, rng=0))
+        assert usage.sum() >= 20     # every query uses at least one node
+
+
+class TestOptimalBranching:
+    def test_small_domain(self):
+        assert optimal_branching(2) == 2
+
+    def test_returns_within_bounds(self):
+        for n in (16, 256, 4096, 100_000):
+            b = optimal_branching(n)
+            assert 2 <= b <= 16
+
+    def test_larger_domain_prefers_larger_branching(self):
+        assert optimal_branching(4096) > 2

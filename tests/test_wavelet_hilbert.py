@@ -1,0 +1,106 @@
+"""Unit tests for the Haar wavelet and Hilbert curve substrates."""
+
+import numpy as np
+import pytest
+
+from repro.algorithms.hilbert import flatten_2d, hilbert_order, unflatten_2d
+from repro.algorithms.wavelet import (
+    haar_forward,
+    haar_inverse,
+    haar_sensitivity,
+    next_power_of_two,
+)
+
+
+class TestNextPowerOfTwo:
+    @pytest.mark.parametrize("n,expected", [(1, 1), (2, 2), (3, 4), (5, 8), (1024, 1024), (1025, 2048)])
+    def test_values(self, n, expected):
+        assert next_power_of_two(n) == expected
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            next_power_of_two(0)
+
+
+class TestHaar:
+    def test_roundtrip_power_of_two(self):
+        rng = np.random.default_rng(0)
+        x = rng.random(64)
+        assert np.allclose(haar_inverse(haar_forward(x), 64), x)
+
+    def test_roundtrip_non_power_of_two(self):
+        rng = np.random.default_rng(1)
+        x = rng.random(37)
+        assert np.allclose(haar_inverse(haar_forward(x), 37), x)
+
+    def test_total_coefficient(self):
+        x = np.arange(16, dtype=float)
+        coefficients = haar_forward(x)
+        assert coefficients[0][0] == pytest.approx(x.sum())
+
+    def test_single_record_changes_one_coefficient_per_level(self):
+        # The L1 sensitivity argument behind Privelet: a unit change in one
+        # cell changes the total and exactly one difference per level, each by 1.
+        n = 32
+        x = np.zeros(n)
+        y = x.copy()
+        y[13] += 1.0
+        cx = np.concatenate(haar_forward(x))
+        cy = np.concatenate(haar_forward(y))
+        diff = np.abs(cy - cx)
+        assert diff.sum() == pytest.approx(haar_sensitivity(n))
+        assert np.count_nonzero(diff) == int(np.log2(n)) + 1
+
+    def test_sensitivity_values(self):
+        assert haar_sensitivity(1) == 1.0
+        assert haar_sensitivity(2) == 2.0
+        assert haar_sensitivity(1024) == 11.0
+        assert haar_sensitivity(1000) == 11.0   # padded to 1024
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            haar_forward(np.zeros((4, 4)))
+
+    def test_inverse_rejects_empty(self):
+        with pytest.raises(ValueError):
+            haar_inverse([])
+
+
+class TestHilbert:
+    def test_order_is_permutation(self):
+        for side in (1, 2, 4, 16):
+            order = hilbert_order(side)
+            assert sorted(order.tolist()) == list(range(side * side))
+
+    def test_order_visits_neighbours(self):
+        # Consecutive Hilbert positions are adjacent cells (locality property).
+        side = 8
+        order = hilbert_order(side)
+        rows, cols = np.divmod(order, side)
+        steps = np.abs(np.diff(rows)) + np.abs(np.diff(cols))
+        assert np.all(steps == 1)
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            hilbert_order(6)
+
+    def test_flatten_roundtrip_square(self):
+        rng = np.random.default_rng(2)
+        x = rng.random((16, 16))
+        flat, ordering = flatten_2d(x)
+        assert np.allclose(unflatten_2d(flat, ordering, x.shape), x)
+
+    def test_flatten_roundtrip_rectangular_fallback(self):
+        rng = np.random.default_rng(3)
+        x = rng.random((5, 9))
+        flat, ordering = flatten_2d(x)
+        assert np.allclose(unflatten_2d(flat, ordering, x.shape), x)
+
+    def test_flatten_preserves_mass(self):
+        x = np.random.default_rng(4).random((8, 8))
+        flat, _ = flatten_2d(x)
+        assert flat.sum() == pytest.approx(x.sum())
+
+    def test_flatten_rejects_1d(self):
+        with pytest.raises(ValueError):
+            flatten_2d(np.zeros(8))

@@ -1,0 +1,167 @@
+"""Unit tests for range queries, workloads and prefix-sum evaluation."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    PrefixSum,
+    RangeQuery,
+    Workload,
+    all_range_workload,
+    default_workload,
+    identity_workload,
+    prefix_workload,
+    random_range_workload,
+)
+
+
+class TestPrefixSum:
+    def test_1d_matches_bruteforce(self):
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 10, size=50).astype(float)
+        table = PrefixSum(x)
+        for lo, hi in [(0, 0), (0, 49), (10, 20), (49, 49), (3, 40)]:
+            assert table.range_sum((lo,), (hi,)) == pytest.approx(x[lo:hi + 1].sum())
+
+    def test_2d_matches_bruteforce(self):
+        rng = np.random.default_rng(1)
+        x = rng.integers(0, 10, size=(12, 9)).astype(float)
+        table = PrefixSum(x)
+        for (r0, c0), (r1, c1) in [((0, 0), (11, 8)), ((2, 3), (5, 7)), ((4, 4), (4, 4))]:
+            assert table.range_sum((r0, c0), (r1, c1)) == pytest.approx(
+                x[r0:r1 + 1, c0:c1 + 1].sum())
+
+    def test_vectorised_matches_scalar(self):
+        rng = np.random.default_rng(2)
+        x = rng.random((8, 8))
+        table = PrefixSum(x)
+        los = np.array([[0, 0], [1, 2], [3, 3]])
+        his = np.array([[7, 7], [4, 6], [3, 3]])
+        vectorised = table.range_sums(los, his)
+        scalars = [table.range_sum(tuple(lo), tuple(hi)) for lo, hi in zip(los, his)]
+        assert np.allclose(vectorised, scalars)
+
+    def test_rejects_3d(self):
+        with pytest.raises(ValueError):
+            PrefixSum(np.zeros((2, 2, 2)))
+
+    def test_mismatched_bounds_rejected(self):
+        table = PrefixSum(np.zeros(4))
+        with pytest.raises(ValueError):
+            table.range_sums(np.zeros((2, 1), dtype=int), np.zeros((3, 1), dtype=int))
+
+
+class TestRangeQuery:
+    def test_size_and_contains(self):
+        query = RangeQuery((2, 3), (4, 5))
+        assert query.size == 9
+        assert query.contains_cell((3, 4))
+        assert not query.contains_cell((5, 3))
+
+    def test_evaluate_1d(self):
+        x = np.arange(10, dtype=float)
+        assert RangeQuery((2,), (5,)).evaluate(x) == pytest.approx(2 + 3 + 4 + 5)
+
+    def test_invalid_ranges_rejected(self):
+        with pytest.raises(ValueError):
+            RangeQuery((5,), (2,))
+        with pytest.raises(ValueError):
+            RangeQuery((-1,), (2,))
+        with pytest.raises(ValueError):
+            RangeQuery((0,), (1, 2))
+        with pytest.raises(ValueError):
+            RangeQuery((0, 0, 0), (1, 1, 1))
+
+    def test_dimension_mismatch_on_evaluate(self):
+        with pytest.raises(ValueError):
+            RangeQuery((0,), (1,)).evaluate(np.zeros((3, 3)))
+
+
+class TestWorkload:
+    def test_evaluate_matches_matrix(self):
+        rng = np.random.default_rng(3)
+        x = rng.integers(0, 5, size=16).astype(float)
+        workload = random_range_workload((16,), n_queries=30, rng=rng)
+        via_prefix = workload.evaluate(x)
+        via_matrix = workload.to_matrix() @ x
+        assert np.allclose(via_prefix, via_matrix)
+
+    def test_evaluate_matches_matrix_2d(self):
+        rng = np.random.default_rng(4)
+        x = rng.integers(0, 5, size=(6, 7)).astype(float)
+        workload = random_range_workload((6, 7), n_queries=25, rng=rng)
+        assert np.allclose(workload.evaluate(x), workload.to_matrix() @ x.ravel())
+
+    def test_rejects_query_outside_domain(self):
+        with pytest.raises(ValueError):
+            Workload([RangeQuery((0,), (10,))], domain_shape=(5,))
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Workload([], domain_shape=(5,))
+
+    def test_rejects_wrong_data_shape(self):
+        workload = prefix_workload(8)
+        with pytest.raises(ValueError):
+            workload.evaluate(np.zeros(9))
+
+    def test_sensitivity_prefix(self):
+        # Cell 0 is in every prefix query, so sensitivity equals n.
+        workload = prefix_workload(16)
+        assert workload.sensitivity() == 16
+
+    def test_sensitivity_identity(self):
+        assert identity_workload((10,)).sensitivity() == 1
+
+    def test_container_protocol(self):
+        workload = prefix_workload(4)
+        assert len(workload) == 4
+        assert workload[0] == RangeQuery((0,), (0,))
+        assert all(isinstance(q, RangeQuery) for q in workload)
+
+
+class TestBuilders:
+    def test_prefix_workload_definition(self):
+        workload = prefix_workload(5)
+        assert [q.hi[0] for q in workload] == [0, 1, 2, 3, 4]
+        assert all(q.lo == (0,) for q in workload)
+
+    def test_any_range_from_two_prefix_queries(self):
+        x = np.arange(10, dtype=float)
+        workload = prefix_workload(10)
+        answers = workload.evaluate(x)
+        # range [3, 7] = prefix[7] - prefix[2]
+        assert answers[7] - answers[2] == pytest.approx(x[3:8].sum())
+
+    def test_identity_workload_counts(self):
+        assert len(identity_workload((7,))) == 7
+        assert len(identity_workload((3, 4))) == 12
+
+    def test_all_range_count(self):
+        n = 8
+        assert len(all_range_workload(n)) == n * (n + 1) // 2
+
+    def test_all_range_truncation(self):
+        assert len(all_range_workload(10, max_queries=17)) == 17
+
+    def test_random_range_within_domain(self):
+        workload = random_range_workload((20, 30), n_queries=200, rng=0)
+        assert len(workload) == 200
+        for query in workload:
+            assert 0 <= query.lo[0] <= query.hi[0] < 20
+            assert 0 <= query.lo[1] <= query.hi[1] < 30
+
+    def test_random_range_reproducible(self):
+        w1 = random_range_workload((16,), 50, rng=9)
+        w2 = random_range_workload((16,), 50, rng=9)
+        assert [ (q.lo, q.hi) for q in w1 ] == [ (q.lo, q.hi) for q in w2 ]
+
+    def test_default_workload_dispatch(self):
+        assert default_workload((32,)).name.startswith("prefix")
+        assert default_workload((8, 8), n_queries=10).name.startswith("random-range")
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            prefix_workload(0)
+        with pytest.raises(ValueError):
+            random_range_workload((8,), n_queries=0)
