@@ -9,6 +9,18 @@ Grid resolution is controlled by ``repro.core.suite``: the default is a
 laptop-scale grid (domain 1024 / 64x64, 3 scales, 2 data samples x 3 trials);
 set ``DPBENCH_FULL=1`` to run the paper's full settings.
 
+Execution is controlled by three environment variables understood by
+:func:`study_executor` / :func:`study_checkpoint`:
+
+* ``DPBENCH_WORKERS=N`` (N > 1) fans each study out over an N-process
+  ``ParallelExecutor`` — per-job seeding makes the results bitwise-identical
+  to a serial run;
+* ``DPBENCH_CHECKPOINT=1`` streams completed records to
+  ``benchmarks/results/run_{1d,2d}.jsonl``;
+* ``DPBENCH_RESUME=1`` (implies checkpointing) skips the cells already in
+  the run-log, so a killed ``DPBENCH_FULL=1`` sweep picks up where it left
+  off.
+
 Each bench prints its rows and also writes them to ``benchmarks/results/``.
 """
 
@@ -20,7 +32,8 @@ from pathlib import Path
 
 import numpy as np
 
-from repro import benchmark_1d, benchmark_2d
+from repro import ParallelExecutor, SerialExecutor, benchmark_1d, benchmark_2d
+from repro.core.suite import env_flag as _env_flag
 
 #: Seed shared by every bench so the reduced grids are reproducible.
 SEED = 20160626
@@ -28,16 +41,41 @@ SEED = 20160626
 RESULTS_DIR = Path(__file__).resolve().parent / "results"
 
 
+def study_executor():
+    """The executor the big studies run under (``DPBENCH_WORKERS``)."""
+    workers = int(os.environ.get("DPBENCH_WORKERS", "0") or 0)
+    if workers > 1:
+        return ParallelExecutor(workers=workers)
+    return SerialExecutor()
+
+
+def study_checkpoint(tag: str) -> Path | None:
+    """Run-log path for one study, or None when checkpointing is off."""
+    if not (_env_flag("DPBENCH_CHECKPOINT") or _env_flag("DPBENCH_RESUME")):
+        return None
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR / f"run_{tag}.jsonl"
+
+
+def _run_study(build, tag: str):
+    return build().run(
+        rng=SEED,
+        executor=study_executor(),
+        checkpoint=study_checkpoint(tag),
+        resume=_env_flag("DPBENCH_RESUME"),
+    )
+
+
 @functools.lru_cache(maxsize=None)
 def results_1d():
     """The 1-D study: every 1-D dataset x scale x algorithm (cached)."""
-    return benchmark_1d().run(rng=SEED)
+    return _run_study(benchmark_1d, "1d")
 
 
 @functools.lru_cache(maxsize=None)
 def results_2d():
     """The 2-D study: every 2-D dataset x scale x algorithm (cached)."""
-    return benchmark_2d().run(rng=SEED)
+    return _run_study(benchmark_2d, "2d")
 
 
 def format_table(rows: list[dict], columns: list[str] | None = None,

@@ -56,7 +56,10 @@ from .core import (
     DataGenerator,
     DPBench,
     ExperimentSetting,
+    Job,
+    ParallelExecutor,
     ParameterTuner,
+    SerialExecutor,
     ResultSet,
     RunRecord,
     SideInformationRepair,
@@ -121,7 +124,8 @@ __all__ = [
     "default_workload",
     # core
     "DPBench", "BenchmarkGrid", "DataGenerator", "ResultSet", "RunRecord",
-    "ExperimentSetting", "SideInformationRepair", "ParameterTuner",
+    "ExperimentSetting", "Job", "SerialExecutor", "ParallelExecutor",
+    "SideInformationRepair", "ParameterTuner",
     "TuningResult", "ALGORITHM_REGISTRY", "make_algorithm", "algorithm_names",
     "algorithms_for_dimension", "table1_rows", "benchmark_1d", "benchmark_2d",
     "scaled_average_per_query_error", "summarize_errors",

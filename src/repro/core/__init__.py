@@ -8,6 +8,7 @@ from .analysis import (
     regret,
 )
 from .benchmark import BenchmarkGrid, DPBench
+from .executor import Job, JobRuntime, ParallelExecutor, SerialExecutor
 from .error import (
     ErrorSummary,
     bias_variance_decomposition,
@@ -41,6 +42,10 @@ from .tuning import ParameterTuner, TuningResult, tuned_algorithm_factory
 __all__ = [
     "DPBench",
     "BenchmarkGrid",
+    "Job",
+    "JobRuntime",
+    "SerialExecutor",
+    "ParallelExecutor",
     "DataGenerator",
     "ResultSet",
     "RunRecord",

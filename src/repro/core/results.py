@@ -1,16 +1,51 @@
-"""Result storage and aggregation for benchmark runs."""
+"""Result storage and aggregation for benchmark runs.
+
+Records serialize to JSON-line form for the runner's streaming checkpoints:
+one :class:`RunRecord` per line, errors stored as plain floats (JSON float
+text is the shortest round-tripping repr, so a reloaded record's error vector
+is bitwise-identical to the original).  :meth:`ResultSet.from_jsonl` reloads a
+run-log and :meth:`ResultSet.merge` combines partial runs.
+"""
 
 from __future__ import annotations
 
 import csv
 import io
+import json
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
 from .error import ErrorSummary, summarize_errors
 
-__all__ = ["ExperimentSetting", "RunRecord", "ResultSet"]
+__all__ = ["ExperimentSetting", "RunRecord", "ResultSet", "read_jsonl_entries"]
+
+
+def read_jsonl_entries(source) -> list[dict]:
+    """Parse run-log lines into dicts, tolerating a torn final line.
+
+    ``source`` is a path or raw JSONL text.  An interrupted run can leave a
+    partial trailing write; complete lines are never lost to it.  A corrupt
+    line anywhere else raises.
+    """
+    looks_like_text = str(source).lstrip().startswith("{") or str(source) == ""
+    if isinstance(source, Path) or not looks_like_text:
+        text = Path(source).read_text(encoding="utf8")
+    else:
+        text = str(source)
+    entries = []
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if not line.strip():
+            continue
+        try:
+            entries.append(json.loads(line))
+        except json.JSONDecodeError:
+            if i == len(lines) - 1:
+                continue                      # torn tail of a killed run
+            raise
+    return entries
 
 
 @dataclass(frozen=True)
@@ -31,6 +66,25 @@ class ExperimentSetting:
     def key_without_algorithm(self) -> tuple:
         return (self.dataset, self.scale, self.domain_shape, self.epsilon, self.workload)
 
+    def to_dict(self) -> dict:
+        return {
+            "dataset": self.dataset,
+            "scale": self.scale,
+            "domain_shape": list(self.domain_shape),
+            "epsilon": self.epsilon,
+            "workload": self.workload,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ExperimentSetting":
+        return cls(
+            dataset=data["dataset"],
+            scale=int(data["scale"]),
+            domain_shape=tuple(int(d) for d in data["domain_shape"]),
+            epsilon=float(data["epsilon"]),
+            workload=data["workload"],
+        )
+
 
 @dataclass
 class RunRecord:
@@ -46,6 +100,36 @@ class RunRecord:
     @property
     def summary(self) -> ErrorSummary:
         return summarize_errors(self.errors)
+
+    def record_key(self) -> tuple:
+        """The record's identity in a run-log: setting (minus workload) + algorithm.
+
+        Matches :meth:`repro.core.executor.Job.record_key` — the workload is
+        omitted because it is determined by the domain shape.
+        """
+        s = self.setting
+        return (s.dataset, s.scale, s.domain_shape, s.epsilon, self.algorithm)
+
+    def to_dict(self) -> dict:
+        return {
+            "setting": self.setting.to_dict(),
+            "algorithm": self.algorithm,
+            "errors": np.asarray(self.errors, dtype=float).tolist(),
+            "failed": self.failed,
+            "failure_message": self.failure_message,
+            "extra": self.extra,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RunRecord":
+        return cls(
+            setting=ExperimentSetting.from_dict(data["setting"]),
+            algorithm=data["algorithm"],
+            errors=np.asarray(data.get("errors", []), dtype=float),
+            failed=bool(data.get("failed", False)),
+            failure_message=data.get("failure_message", ""),
+            extra=dict(data.get("extra", {})),
+        )
 
 
 class ResultSet:
@@ -70,6 +154,39 @@ class ResultSet:
     @property
     def records(self) -> list[RunRecord]:
         return list(self._records)
+
+    # -- (de)serialization ------------------------------------------------------------
+    def to_jsonl(self, path=None) -> str:
+        """One JSON object per record; write to ``path`` if given."""
+        text = "".join(json.dumps(r.to_dict()) + "\n" for r in self._records)
+        if path is not None:
+            Path(path).write_text(text, encoding="utf8")
+        return text
+
+    @classmethod
+    def from_jsonl(cls, source) -> "ResultSet":
+        """Reload records from a run-log path (or raw JSONL text).
+
+        Tolerates a truncated final line, which an interrupted run can leave
+        behind — complete records are never lost to a partial trailing write.
+        The runner's skipped-job markers (``{"skipped": true, ...}`` lines)
+        are not records and are ignored.
+        """
+        return cls([RunRecord.from_dict(entry)
+                    for entry in read_jsonl_entries(source)
+                    if not entry.get("skipped")])
+
+    def merge(self, other) -> "ResultSet":
+        """Union of two result sets, keyed by record identity.
+
+        Records from ``other`` override same-key records from ``self`` (a
+        re-executed cell supersedes its checkpointed predecessor); ordering is
+        first-appearance.
+        """
+        merged: dict[tuple, RunRecord] = {r.record_key(): r for r in self._records}
+        for record in other:
+            merged[record.record_key()] = record
+        return ResultSet(list(merged.values()))
 
     # -- filtering / grouping ---------------------------------------------------------
     def filter(self, **criteria) -> "ResultSet":

@@ -22,6 +22,7 @@ from .benchmark import BenchmarkGrid, DPBench
 from .registry import algorithm_names, make_algorithm
 
 __all__ = [
+    "env_flag",
     "full_mode",
     "default_scales_1d",
     "default_scales_2d",
@@ -41,9 +42,14 @@ PAPER_DATA_SAMPLES = 5
 PAPER_TRIALS = 10
 
 
+def env_flag(name: str) -> bool:
+    """Shared truthiness convention for the ``DPBENCH_*`` env knobs."""
+    return os.environ.get(name, "0") not in ("", "0", "false", "False")
+
+
 def full_mode() -> bool:
     """True when the benches should run at the paper's full settings."""
-    return os.environ.get("DPBENCH_FULL", "0") not in ("", "0", "false", "False")
+    return env_flag("DPBENCH_FULL")
 
 
 def default_scales_1d() -> tuple[int, ...]:
@@ -98,8 +104,17 @@ def benchmark_1d(
     n_data_samples: int | None = None,
     n_trials: int | None = None,
     dataset_limit: int | None = None,
+    executor=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> DPBench:
-    """The paper's 1-D range-query benchmark (Prefix workload)."""
+    """The paper's 1-D range-query benchmark (Prefix workload).
+
+    ``executor``, ``checkpoint`` and ``resume`` become the defaults of
+    :meth:`DPBench.run` — e.g. ``benchmark_1d(executor=ParallelExecutor(8),
+    checkpoint="run_1d.jsonl", resume=True)`` builds a sweep that fans out
+    over 8 processes and skips cells already in the run-log.
+    """
     samples, trials = default_repetitions()
     grid = BenchmarkGrid(
         scales=tuple(scales or default_scales_1d()),
@@ -113,6 +128,9 @@ def benchmark_1d(
         datasets=_resolve_datasets(datasets, 1, dataset_limit),
         algorithms=_resolve_algorithms(algorithms, 1),
         grid=grid,
+        executor=executor,
+        checkpoint=checkpoint,
+        resume=resume,
     )
 
 
@@ -125,8 +143,15 @@ def benchmark_2d(
     n_data_samples: int | None = None,
     n_trials: int | None = None,
     dataset_limit: int | None = None,
+    executor=None,
+    checkpoint=None,
+    resume: bool = False,
 ) -> DPBench:
-    """The paper's 2-D range-query benchmark (2000 random range queries)."""
+    """The paper's 2-D range-query benchmark (2000 random range queries).
+
+    ``executor``, ``checkpoint`` and ``resume`` are forwarded as the defaults
+    of :meth:`DPBench.run`, as in :func:`benchmark_1d`.
+    """
     samples, trials = default_repetitions()
     grid = BenchmarkGrid(
         scales=tuple(scales or default_scales_2d()),
@@ -140,4 +165,7 @@ def benchmark_2d(
         datasets=_resolve_datasets(datasets, 2, dataset_limit),
         algorithms=_resolve_algorithms(algorithms, 2),
         grid=grid,
+        executor=executor,
+        checkpoint=checkpoint,
+        resume=resume,
     )
