@@ -1,0 +1,180 @@
+"""Micro-benchmark: dense vs sparse measurement/inference paths.
+
+Two hot paths were rebased onto the sparse :class:`repro.QueryMatrix`
+operator in the measurement/inference refactor:
+
+* **MWEM's round loop** — the textbook implementation materialises the dense
+  query matrix (answers via ``W @ x`` per round) and a dense per-query mask
+  for every multiplicative-weights update; the sparse loop updates answers
+  incrementally from range overlaps and touches only the chosen range.
+  The pre-refactor middle ground (prefix-sum evaluation per round, dense
+  masks) is also reported for context.
+* **GLS inference** — consistency post-processing solved densely with
+  ``np.linalg.lstsq`` versus the exact two-pass tree path and the matrix-free
+  LSMR solver.
+
+Run with ``python -m pytest benchmarks/bench_inference_speed.py -q``.
+``DPBENCH_SMOKE=1`` shrinks round counts and the dense-solve domain so the
+bench finishes in seconds on CI; the MWEM domain stays at 4096 because the
+>= 5x speedup over the dense-matrix baseline is an acceptance criterion.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from _shared import format_table, report, run_once
+from repro import MWEM, prefix_workload
+from repro.algorithms.hier import measure_tree
+from repro.algorithms.mechanisms import exponential_mechanism, laplace_noise
+from repro.algorithms.mwem import _query_mask, multiplicative_weights_update
+from repro.algorithms.tree import HierarchicalTree
+from repro.core.gls import solve_gls
+
+SMOKE = os.environ.get("DPBENCH_SMOKE", "0") not in ("", "0")
+
+MWEM_DOMAIN = 4096
+MWEM_ROUNDS = 10 if SMOKE else 50
+GLS_DENSE_DOMAIN = 512 if SMOKE else 1024
+GLS_SPARSE_DOMAIN = 4096
+
+
+def _mwem_data(n: int):
+    rng = np.random.default_rng(20160626)
+    x = rng.multinomial(100_000, rng.dirichlet(np.ones(n))).astype(float)
+    workload = prefix_workload(n)
+    workload.operator.to_sparse()          # warm the cached operator
+    return x, workload
+
+
+def _dense_matrix_mwem(x, epsilon, workload, rng, rounds, scale):
+    """The textbook dense path: answers via the materialised query matrix."""
+    matrix = workload.to_matrix()
+    estimate = np.full(x.shape, scale / x.size)
+    average = np.zeros(x.shape)
+    true_answers = matrix @ x.ravel()
+    eps_round = epsilon / rounds
+    for _ in range(rounds):
+        approx = matrix @ estimate.ravel()
+        errors = np.abs(true_answers - approx)
+        chosen = exponential_mechanism(errors, eps_round / 2.0, sensitivity=1.0, rng=rng)
+        measured = true_answers[chosen] + float(laplace_noise(2.0 / eps_round, (), rng))
+        mask = _query_mask(workload[chosen], x.shape)
+        estimate = multiplicative_weights_update(estimate, mask, measured, scale)
+        average += estimate
+    return average / rounds
+
+
+def _prefix_mask_mwem(x, epsilon, workload, rng, rounds, scale):
+    """The pre-refactor path: prefix-sum evaluation, dense update masks."""
+    estimate = np.full(x.shape, scale / x.size)
+    average = np.zeros(x.shape)
+    true_answers = workload.evaluate(x)
+    eps_round = epsilon / rounds
+    for _ in range(rounds):
+        approx = workload.evaluate(estimate)
+        errors = np.abs(true_answers - approx)
+        chosen = exponential_mechanism(errors, eps_round / 2.0, sensitivity=1.0, rng=rng)
+        measured = true_answers[chosen] + float(laplace_noise(2.0 / eps_round, (), rng))
+        mask = _query_mask(workload[chosen], x.shape)
+        estimate = multiplicative_weights_update(estimate, mask, measured, scale)
+        average += estimate
+    return average / rounds
+
+
+def _time(fn, repeats: int = 3) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_mwem_sparse_vs_dense(benchmark):
+    def study():
+        x, workload = _mwem_data(MWEM_DOMAIN)
+        scale = float(x.sum())
+        epsilon = 1.0
+        MWEM(rounds=2).run(x, epsilon, workload=workload, rng=0)   # warm-up
+
+        t_dense, y_dense = _time(lambda: _dense_matrix_mwem(
+            x, epsilon, workload, np.random.default_rng(7), MWEM_ROUNDS, scale), repeats=1)
+        t_prefix, y_prefix = _time(lambda: _prefix_mask_mwem(
+            x, epsilon, workload, np.random.default_rng(7), MWEM_ROUNDS, scale))
+        t_sparse, y_sparse = _time(lambda: MWEM(rounds=MWEM_ROUNDS).run(
+            x, epsilon, workload=workload, rng=np.random.default_rng(7)))
+
+        assert np.allclose(y_sparse, y_dense, rtol=1e-8, atol=1e-8)
+        assert np.allclose(y_sparse, y_prefix, rtol=1e-8, atol=1e-8)
+        rows = [
+            {"path": "dense matrix (W @ x per round)", "seconds": t_dense,
+             "speedup": 1.0},
+            {"path": "prefix eval + dense mask (pre-refactor)", "seconds": t_prefix,
+             "speedup": t_dense / t_prefix},
+            {"path": "sparse operator (incremental answers)", "seconds": t_sparse,
+             "speedup": t_dense / t_sparse},
+        ]
+        return rows, t_dense / t_sparse
+
+    rows, speedup = run_once(benchmark, study)
+    report("bench_mwem_speed",
+           f"MWEM round-loop paths (domain {MWEM_DOMAIN}, {MWEM_ROUNDS} rounds)",
+           format_table(rows, floatfmt="{:.4f}"))
+    assert speedup >= 5.0, f"sparse MWEM only {speedup:.1f}x over the dense baseline"
+
+
+def test_gls_sparse_vs_dense(benchmark):
+    def study():
+        rows = []
+        rng = np.random.default_rng(0)
+
+        # Dense-feasible domain: all three solvers against np.linalg.lstsq.
+        n = GLS_DENSE_DOMAIN
+        tree = HierarchicalTree((n,), branching=2)
+        x = rng.multinomial(50_000, rng.dirichlet(np.ones(n))).astype(float)
+        mset = measure_tree(x, tree, np.full(tree.n_levels, 0.1), rng)
+
+        measured = mset.measured()
+        scales = 1.0 / np.sqrt(measured.variances)
+        design = measured.queries.to_dense() * scales[:, None]
+        target = measured.values * scales
+        t_dense, y_dense = _time(
+            lambda: np.linalg.lstsq(design, target, rcond=None)[0], repeats=1)
+        t_tree, y_tree = _time(lambda: solve_gls(mset, method="tree"))
+        t_lsmr, y_lsmr = _time(lambda: solve_gls(mset, method="lsmr"))
+        t_normal, y_normal = _time(lambda: solve_gls(mset, method="normal"))
+        for y in (y_tree, y_lsmr, y_normal):
+            assert np.abs(y - y_dense).max() / max(1.0, np.abs(y_dense).max()) < 1e-8
+        rows += [
+            {"solver": f"dense lstsq (n={n})", "seconds": t_dense, "speedup": 1.0},
+            {"solver": f"tree two-pass (n={n})", "seconds": t_tree,
+             "speedup": t_dense / t_tree},
+            {"solver": f"sparse LSMR (n={n})", "seconds": t_lsmr,
+             "speedup": t_dense / t_lsmr},
+            {"solver": f"sparse normal eqs (n={n})", "seconds": t_normal,
+             "speedup": t_dense / t_normal},
+        ]
+
+        # Large domain: the sparse paths keep working where dense cannot.
+        n = GLS_SPARSE_DOMAIN
+        tree = HierarchicalTree((n,), branching=2)
+        x = rng.multinomial(500_000, rng.dirichlet(np.ones(n))).astype(float)
+        mset = measure_tree(x, tree, np.full(tree.n_levels, 0.1), rng)
+        t_tree, y_tree = _time(lambda: solve_gls(mset, method="tree"))
+        t_lsmr, y_lsmr = _time(lambda: solve_gls(mset, method="lsmr"))
+        assert np.abs(y_tree - y_lsmr).max() / max(1.0, np.abs(y_tree).max()) < 1e-8
+        rows += [
+            {"solver": f"tree two-pass (n={n})", "seconds": t_tree, "speedup": float("nan")},
+            {"solver": f"sparse LSMR (n={n})", "seconds": t_lsmr, "speedup": float("nan")},
+        ]
+        return rows, rows[1]["speedup"]
+
+    rows, tree_speedup = run_once(benchmark, study)
+    report("bench_gls_speed", "GLS inference paths (dense vs sparse)",
+           format_table(rows, floatfmt="{:.4f}"))
+    assert tree_speedup >= 5.0, \
+        f"tree fast path only {tree_speedup:.1f}x over dense lstsq"

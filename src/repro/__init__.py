@@ -25,6 +25,46 @@ Quick start::
     estimate = algorithm.run(dataset.counts, epsilon=0.1, workload=workload, rng=0)
 """
 
+# `.core` must be imported before `.algorithms`: the algorithm modules import
+# `repro.core.measurement`/`repro.core.gls` (the shared measurement/inference
+# currency), which is only cycle-free because `.core`'s own initialisation
+# forces the algorithms package to complete first (see repro/core/__init__.py).
+from .core import (
+    ALGORITHM_REGISTRY,
+    BenchmarkGrid,
+    DataGenerator,
+    DPBench,
+    ExperimentSetting,
+    Job,
+    MeasurementSet,
+    ParallelExecutor,
+    ParameterTuner,
+    SerialExecutor,
+    ResultSet,
+    RunRecord,
+    SideInformationRepair,
+    TuningResult,
+    algorithm_names,
+    algorithms_for_dimension,
+    baseline_comparison,
+    benchmark_1d,
+    benchmark_2d,
+    bias_variance_decomposition,
+    check_consistency,
+    check_exchangeability,
+    competitive_algorithms,
+    competitive_counts,
+    consistency_curve,
+    exchangeability_ratio,
+    make_algorithm,
+    mean_scaled_error,
+    mean_vs_p95_disagreements,
+    regret,
+    scaled_average_per_query_error,
+    solve_gls,
+    summarize_errors,
+    table1_rows,
+)
 from .algorithms import (
     AGrid,
     AHP,
@@ -50,40 +90,6 @@ from .algorithms import (
     UGrid,
     Uniform,
 )
-from .core import (
-    ALGORITHM_REGISTRY,
-    BenchmarkGrid,
-    DataGenerator,
-    DPBench,
-    ExperimentSetting,
-    Job,
-    ParallelExecutor,
-    ParameterTuner,
-    SerialExecutor,
-    ResultSet,
-    RunRecord,
-    SideInformationRepair,
-    TuningResult,
-    algorithm_names,
-    algorithms_for_dimension,
-    baseline_comparison,
-    benchmark_1d,
-    benchmark_2d,
-    bias_variance_decomposition,
-    check_consistency,
-    check_exchangeability,
-    competitive_algorithms,
-    competitive_counts,
-    consistency_curve,
-    exchangeability_ratio,
-    make_algorithm,
-    mean_scaled_error,
-    mean_vs_p95_disagreements,
-    regret,
-    scaled_average_per_query_error,
-    summarize_errors,
-    table1_rows,
-)
 from .data import (
     Attribute,
     Dataset,
@@ -97,6 +103,7 @@ from .data import (
 )
 from .workload import (
     PrefixSum,
+    QueryMatrix,
     RangeQuery,
     Workload,
     all_range_workload,
@@ -119,12 +126,13 @@ __all__ = [
     "Dataset", "Attribute", "Relation", "histogram", "synthesize_relation",
     "load_dataset", "all_datasets", "dataset_names", "dataset_overview",
     # workload
-    "RangeQuery", "Workload", "PrefixSum", "prefix_workload",
+    "RangeQuery", "Workload", "PrefixSum", "QueryMatrix", "prefix_workload",
     "identity_workload", "all_range_workload", "random_range_workload",
     "default_workload",
     # core
     "DPBench", "BenchmarkGrid", "DataGenerator", "ResultSet", "RunRecord",
     "ExperimentSetting", "Job", "SerialExecutor", "ParallelExecutor",
+    "MeasurementSet", "solve_gls",
     "SideInformationRepair", "ParameterTuner",
     "TuningResult", "ALGORITHM_REGISTRY", "make_algorithm", "algorithm_names",
     "algorithms_for_dimension", "table1_rows", "benchmark_1d", "benchmark_2d",

@@ -17,12 +17,20 @@ import heapq
 
 import numpy as np
 
+from ..core.measurement import MeasurementSet
+from ..workload.linops import QueryMatrix
 from ..workload.rangequery import Workload
 from .base import Algorithm, AlgorithmProperties
 from .mechanisms import PrivacyBudget, laplace_noise
 from .inference import inverse_variance_combine
 
 __all__ = ["DPCube"]
+
+
+def _blocks_to_bounds(blocks: list[tuple[slice, ...]]) -> tuple[np.ndarray, np.ndarray]:
+    los = np.array([[s.start for s in block] for block in blocks], dtype=np.intp)
+    his = np.array([[s.stop - 1 for s in block] for block in blocks], dtype=np.intp)
+    return los, his
 
 
 class DPCube(Algorithm):
@@ -40,6 +48,15 @@ class DPCube(Algorithm):
 
     def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
              rng: np.random.Generator) -> np.ndarray:
+        noisy_cells, blocks, fresh_totals, eps_cells, eps_partitions = \
+            self._measure_raw(x, epsilon, rng)
+        return self._reconcile(noisy_cells, blocks, fresh_totals,
+                               2.0 / eps_cells ** 2, 2.0 / eps_partitions ** 2)
+
+    def _measure_raw(self, x: np.ndarray, epsilon: float, rng: np.random.Generator):
+        """Both measurement phases: phase-1 noisy cells, then one fresh total
+        per kd partition (in partition order — the noise-draw order is part
+        of the reproducibility contract)."""
         rho = float(self.params["rho"])
         n_partitions = int(self.params["n_partitions"])
         budget = PrivacyBudget(epsilon)
@@ -48,14 +65,56 @@ class DPCube(Algorithm):
 
         noisy_cells = x + laplace_noise(1.0 / eps_cells, x.shape, rng)
         blocks = self._kd_partition(noisy_cells, n_partitions)
+        fresh_totals = np.array([
+            x[slices].sum() + float(laplace_noise(1.0 / eps_partitions, (), rng))
+            for slices in blocks
+        ])
+        return noisy_cells, blocks, fresh_totals, eps_cells, eps_partitions
 
+    def measure(
+        self, x: np.ndarray, epsilon: float, rng: np.random.Generator,
+    ) -> tuple[MeasurementSet, np.ndarray, list[tuple[slice, ...]]]:
+        """Measure and package as a :class:`MeasurementSet`: one point query
+        per cell (phase 1) plus one total per kd partition (phase 2).
+
+        Also returns the phase-1 noisy cells and the partition blocks, which
+        the closed-form reconciliation fast path consumes directly.  ``_run``
+        skips this packaging (the closed form never touches the queries), so
+        the operator is only built when a consumer actually wants the
+        measurement currency.
+        """
+        noisy_cells, blocks, fresh_totals, eps_cells, eps_partitions = \
+            self._measure_raw(x, epsilon, rng)
+        cell_indices = np.indices(x.shape).reshape(x.ndim, -1).T.astype(np.intp)
+        block_los, block_his = _blocks_to_bounds(blocks)
+        queries = QueryMatrix(
+            np.concatenate([cell_indices, block_los]),
+            np.concatenate([cell_indices, block_his]),
+            x.shape,
+        )
+        values = np.concatenate([noisy_cells.ravel(), fresh_totals])
+        variances = np.concatenate([
+            np.full(x.size, 2.0 / eps_cells ** 2),
+            np.full(len(blocks), 2.0 / eps_partitions ** 2),
+        ])
+        measurements = MeasurementSet(queries, values, variances,
+                                      epsilon_spent=epsilon)
+        return measurements, noisy_cells, blocks
+
+    @staticmethod
+    def _reconcile(noisy_cells: np.ndarray, blocks: list[tuple[slice, ...]],
+                   fresh_totals: np.ndarray, cell_variance: float,
+                   partition_variance: float) -> np.ndarray:
+        """Closed-form GLS solve of the DPCube measurements.
+
+        Within each partition the exact weighted least-squares solution is a
+        uniform shift of the phase-1 cells toward the inverse-variance
+        combination of the two partition totals — the generic sparse solver
+        (:func:`repro.core.gls.solve_gls`) reproduces it, as pinned by tests.
+        """
         estimate = noisy_cells.astype(float).copy()
-        cell_variance = 2.0 / eps_cells ** 2
-        partition_variance = 2.0 / eps_partitions ** 2
-        for slices in blocks:
-            block_cells = x[slices]
-            size = block_cells.size
-            fresh_total = block_cells.sum() + float(laplace_noise(1.0 / eps_partitions, (), rng))
+        for fresh_total, slices in zip(fresh_totals, blocks):
+            size = noisy_cells[slices].size
             phase1_total = float(noisy_cells[slices].sum())
             combined, _ = inverse_variance_combine(
                 np.array([fresh_total, phase1_total]),

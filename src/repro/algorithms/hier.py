@@ -11,13 +11,49 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.gls import solve_gls
+from ..core.measurement import MeasurementSet
 from ..workload.rangequery import Workload
 from .base import Algorithm, AlgorithmProperties
-from .inference import tree_least_squares
 from .mechanisms import laplace_noise
 from .tree import HierarchicalTree, optimal_branching
 
-__all__ = ["HierarchicalH", "HierarchicalHb", "run_hierarchical"]
+__all__ = ["HierarchicalH", "HierarchicalHb", "measure_tree", "run_hierarchical"]
+
+
+def measure_tree(
+    x: np.ndarray,
+    tree: HierarchicalTree,
+    level_epsilons: np.ndarray,
+    rng: np.random.Generator,
+) -> MeasurementSet:
+    """Measure every tree node with its level's Laplace budget.
+
+    Returns the mechanism's full output as a :class:`MeasurementSet` over the
+    tree's node regions (node-index order); a level with zero budget is left
+    unmeasured (``nan`` value, infinite variance).  The total budget spent is
+    ``sum(level_epsilons)`` because the levels partition the domain, so by
+    sequential composition the result is that-much differentially private.
+
+    Noise is drawn node-by-node in node-index order — the draw order is part
+    of the reproducibility contract (golden values pin it).
+    """
+    level_epsilons = np.asarray(level_epsilons, dtype=float)
+    if level_epsilons.size != tree.n_levels:
+        raise ValueError("need one epsilon per tree level")
+
+    true_totals = tree.node_totals(x)
+    values = np.full(len(tree.nodes), np.nan)
+    variances = np.full(len(tree.nodes), np.inf)
+    for idx, node in enumerate(tree.nodes):
+        eps_level = level_epsilons[node.level]
+        if eps_level <= 0:
+            continue
+        scale = 1.0 / eps_level
+        values[idx] = true_totals[idx] + float(laplace_noise(scale, (), rng))
+        variances[idx] = 2.0 * scale ** 2
+    return MeasurementSet.from_tree(tree, values, variances,
+                                    epsilon_spent=float(level_epsilons.sum()))
 
 
 def run_hierarchical(
@@ -28,36 +64,13 @@ def run_hierarchical(
     rng: np.random.Generator,
 ) -> np.ndarray:
     """Measure every tree node with its level's budget and return consistent
-    cell estimates.
-
-    ``level_epsilons`` holds the per-level budget; a level with zero budget is
-    left unmeasured.  The total budget spent is ``sum(level_epsilons)`` because
-    the levels partition the domain, so by sequential composition the result is
-    ``sum(level_epsilons)``-differentially private.
-    """
+    cell estimates: ``measure_tree`` followed by the generic GLS solve (which
+    dispatches to the exact two-pass tree fast path)."""
     level_epsilons = np.asarray(level_epsilons, dtype=float)
-    if level_epsilons.size != tree.n_levels:
-        raise ValueError("need one epsilon per tree level")
     if level_epsilons.sum() > epsilon * (1 + 1e-9):
         raise ValueError("per-level budgets exceed the total epsilon")
-
-    true_totals = tree.node_totals(x)
-    measurements = np.full(len(tree.nodes), np.nan)
-    variances = np.full(len(tree.nodes), np.inf)
-    for idx, node in enumerate(tree.nodes):
-        eps_level = level_epsilons[node.level]
-        if eps_level <= 0:
-            continue
-        scale = 1.0 / eps_level
-        measurements[idx] = true_totals[idx] + float(laplace_noise(scale, (), rng))
-        variances[idx] = 2.0 * scale ** 2
-
-    consistent = tree_least_squares(tree, measurements, variances)
-
-    estimate = np.zeros(x.shape)
-    for node in tree.leaves():
-        estimate[node.slices()] = consistent[node.index] / node.size
-    return estimate
+    measurements = measure_tree(x, tree, level_epsilons, rng)
+    return solve_gls(measurements)
 
 
 class HierarchicalH(Algorithm):

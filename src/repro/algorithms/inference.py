@@ -37,6 +37,35 @@ def inverse_variance_combine(values: np.ndarray, variances: np.ndarray) -> tuple
     return estimate, float(1.0 / total_weight)
 
 
+def _inference_plan(tree: HierarchicalTree) -> list[list[dict]]:
+    """Level-by-level execution plan for the two-pass solver (cached on the
+    tree).
+
+    Per level, internal nodes are grouped by child count ``k`` so that every
+    group reduces an exact ``(rows, k)`` matrix — reductions then reproduce
+    the per-node float operations of the original node-at-a-time solver
+    bit-for-bit (see the summation notes in :func:`tree_least_squares`).
+    """
+    plan = getattr(tree, "_ls_plan", None)
+    if plan is not None:
+        return plan
+    plan = []
+    for level_nodes in tree.levels():
+        by_k: dict[int, list] = {}
+        for node in level_nodes:
+            if node.children:
+                by_k.setdefault(len(node.children), []).append(node)
+        groups = []
+        for k, nodes in sorted(by_k.items()):
+            groups.append({
+                "parents": np.array([n.index for n in nodes], dtype=np.intp),
+                "children": np.array([n.children for n in nodes], dtype=np.intp),
+            })
+        plan.append(groups)
+    tree._ls_plan = plan
+    return plan
+
+
 def tree_least_squares(
     tree: HierarchicalTree,
     measurements: np.ndarray,
@@ -67,6 +96,13 @@ def tree_least_squares(
     sum of its children's pass-1 values across the children proportionally to
     their pass-1 variances.  For trees this reproduces the exact generalized
     least-squares solution.
+
+    Both passes are executed level-by-level with the nodes of equal child
+    count batched into ``(rows, k)`` matrices.  The float-operation order of
+    the historical node-at-a-time implementation is preserved exactly —
+    pass-1 child sums accumulate column-by-column (Python ``sum`` was
+    sequential) while pass-2 reductions use numpy's pairwise ``sum`` over
+    length-``k`` rows, as before — so results are bitwise identical.
     """
     n_nodes = len(tree.nodes)
     measurements = np.asarray(measurements, dtype=float)
@@ -74,48 +110,64 @@ def tree_least_squares(
     if measurements.shape != (n_nodes,) or variances.shape != (n_nodes,):
         raise ValueError("measurements/variances must have one entry per tree node")
 
-    combined = np.zeros(n_nodes)
-    combined_var = np.full(n_nodes, np.inf)
+    plan = _inference_plan(tree)
 
-    # Pass 1: bottom-up, deepest levels first.
-    order = sorted(range(n_nodes), key=lambda i: tree.nodes[i].level, reverse=True)
-    for idx in order:
-        node = tree.nodes[idx]
-        own_value = measurements[idx]
-        own_var = variances[idx]
-        if not np.isfinite(own_value):
-            own_var = np.inf
-            own_value = 0.0
-        if node.is_leaf:
-            combined[idx], combined_var[idx] = own_value, own_var
-            continue
-        child_sum = sum(combined[c] for c in node.children)
-        child_var = sum(combined_var[c] for c in node.children)
-        values = np.array([own_value, child_sum])
-        variances_pair = np.array([own_var, child_var])
-        combined[idx], combined_var[idx] = inverse_variance_combine(values, variances_pair)
+    own_values = measurements.copy()
+    own_vars = variances.copy()
+    unmeasured = ~np.isfinite(measurements)
+    own_values[unmeasured] = 0.0
+    own_vars[unmeasured] = np.inf
+
+    # Pass 1: bottom-up.  Leaves carry their own measurement; internal nodes
+    # combine it with the sum of their children's estimates by inverse
+    # variance.  Starting from the leaves' own values lets every level's
+    # children be ready when the level above is processed.
+    combined = own_values.copy()
+    combined_var = own_vars.copy()
+    for groups in reversed(plan):
+        for group in groups:
+            parents, children = group["parents"], group["children"]
+            # Sequential left-to-right accumulation (exactly Python's sum()).
+            child_sum = combined[children[:, 0]].copy()
+            child_var = combined_var[children[:, 0]].copy()
+            for j in range(1, children.shape[1]):
+                child_sum += combined[children[:, j]]
+                child_var += combined_var[children[:, j]]
+            v_own, s_own = own_values[parents], own_vars[parents]
+            with np.errstate(divide="ignore"):
+                w_own = np.where(np.isfinite(s_own) & (s_own > 0), 1.0 / s_own, 0.0)
+                w_child = np.where(np.isfinite(child_var) & (child_var > 0),
+                                   1.0 / child_var, 0.0)
+            total_weight = w_own + w_child
+            with np.errstate(invalid="ignore", divide="ignore"):
+                estimate = np.where(
+                    total_weight > 0,
+                    (w_own * v_own + w_child * child_sum) / total_weight,
+                    (v_own + child_sum) / 2.0,
+                )
+                variance = np.where(total_weight > 0, 1.0 / total_weight, np.inf)
+            combined[parents] = estimate
+            combined_var[parents] = variance
 
     # Pass 2: top-down consistency adjustment.
     final = combined.copy()
-    order = sorted(range(n_nodes), key=lambda i: tree.nodes[i].level)
-    for idx in order:
-        node = tree.nodes[idx]
-        if node.is_leaf:
-            continue
-        children = node.children
-        child_estimates = np.array([combined[c] for c in children])
-        child_variances = np.array([combined_var[c] for c in children])
-        residual = final[idx] - child_estimates.sum()
-        if np.all(~np.isfinite(child_variances)):
-            shares = np.full(len(children), 1.0 / len(children))
-        else:
-            capped = np.where(np.isfinite(child_variances), child_variances, 0.0)
-            total = capped.sum()
-            if total <= 0:
-                shares = np.full(len(children), 1.0 / len(children))
-            else:
-                shares = capped / total
-        for child, estimate, share in zip(children, child_estimates, shares):
-            final[child] = estimate + residual * share
+    for groups in plan:
+        for group in groups:
+            parents, children = group["parents"], group["children"]
+            k = children.shape[1]
+            child_estimates = combined[children]
+            child_variances = combined_var[children]
+            # numpy pairwise sum over length-k rows, as the original did.
+            residual = final[parents] - child_estimates.sum(axis=1)
+            finite = np.isfinite(child_variances)
+            capped = np.where(finite, child_variances, 0.0)
+            total = capped.sum(axis=1)
+            uniform = (~finite.any(axis=1)) | (total <= 0)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                shares = np.where(uniform[:, None],
+                                  np.full((1, k), 1.0 / k),
+                                  capped / total[:, None])
+            final[children.ravel()] = (
+                child_estimates + residual[:, None] * shares).ravel()
 
     return final

@@ -101,24 +101,61 @@ class MWEM(Algorithm):
         rounds = max(1, self._resolve_rounds(epsilon, scale))
         epsilon_mwem = budget.spend_all("mwem")
 
-        estimate = np.full(x.shape, scale / x.size)
-        average = np.zeros(x.shape)
+        # The round loop works on the workload's sparse operator: a
+        # multiplicative-weights step re-weights only the cells of the chosen
+        # range, so the iterate is kept *unnormalised* (actual estimate =
+        # ``norm * estimate``) and every query answer is updated incrementally
+        # from the overlap of the chosen range with each workload query — no
+        # dense per-query mask, no full re-evaluation per round.  The average
+        # of the iterates is accumulated lazily through the invariant
+        # ``running_sum = pending + norm_sum * estimate`` (only the updated
+        # range is touched per round), so no round does O(n) work outside the
+        # chosen range.
+        operator = workload.operator
         true_answers = workload.evaluate(x)
         eps_round = epsilon_mwem / rounds
 
+        estimate = np.full(x.shape, scale / x.size)
+        stored_sum = scale
+        norm = 1.0
+        answers = operator.matvec(estimate)
+        pending = np.zeros(x.shape)
+        norm_sum = 0.0
+        errors = np.empty_like(true_answers)
+        delta = np.empty_like(answers)
+
         for _ in range(rounds):
-            approx_answers = workload.evaluate(estimate)
-            errors = np.abs(true_answers - approx_answers)
+            np.multiply(answers, norm, out=errors)
+            np.subtract(true_answers, errors, out=errors)
+            np.abs(errors, out=errors)
             chosen = exponential_mechanism(errors, eps_round / 2.0, sensitivity=1.0, rng=rng)
-            query = workload[chosen]
             measured = true_answers[chosen] + float(
                 laplace_noise(2.0 / eps_round, (), rng)
             )
-            mask = _query_mask(query, x.shape)
-            estimate = multiplicative_weights_update(estimate, mask, measured, scale)
-            average += estimate
+            lo = tuple(int(v) for v in operator.los[chosen])
+            hi = tuple(int(v) for v in operator.his[chosen])
+            factor = float(np.exp((measured - norm * answers[chosen]) / (2.0 * scale)))
+            overlaps = operator.overlap_sums(estimate, lo, hi)
+            new_sum = stored_sum + (factor - 1.0) * overlaps[chosen]
+            if np.isfinite(factor) and new_sum > 0:
+                region = tuple(slice(a, b + 1) for a, b in zip(lo, hi))
+                # Fold the soon-to-be-lost scale of the range into `pending`
+                # before mutating, preserving pending + norm_sum * estimate.
+                pending[region] += (norm_sum * (1.0 - factor)) * estimate[region]
+                estimate[region] *= factor
+                np.multiply(overlaps, factor - 1.0, out=delta)
+                answers += delta
+                stored_sum = new_sum
+                norm = scale / stored_sum      # keep the actual total at ``scale``
+                if not 1e-100 < norm < 1e100:  # fold extreme normalisers back in
+                    estimate *= norm
+                    answers *= norm
+                    stored_sum *= norm
+                    norm_sum /= norm
+                    norm = 1.0
+            norm_sum += norm
 
-        return average / rounds
+        return (pending + norm_sum * estimate) / rounds
 
 
 class MWEMStar(MWEM):

@@ -12,6 +12,9 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..workload.linops import QueryMatrix
+from ..workload.prefix_sum import PrefixSum
+
 __all__ = ["TreeNode", "HierarchicalTree", "build_tree", "optimal_branching"]
 
 
@@ -64,6 +67,9 @@ class HierarchicalTree:
         self.max_height = max_height
         self.nodes: list[TreeNode] = []
         self._build()
+        self._bounds: tuple[np.ndarray, np.ndarray] | None = None
+        self._levels_1d: list[dict] | None = None
+        self._leaves_1d: dict | None = None
 
     # -- construction -------------------------------------------------------------
     def _build(self) -> None:
@@ -138,10 +144,28 @@ class HierarchicalTree:
     def leaves(self) -> list[TreeNode]:
         return [node for node in self.nodes if node.is_leaf]
 
+    def node_bounds(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-node inclusive bounds as ``(q, ndim)`` arrays (cached)."""
+        if self._bounds is None:
+            los = np.array([node.lo for node in self.nodes], dtype=np.intp)
+            his = np.array([node.hi for node in self.nodes], dtype=np.intp)
+            self._bounds = (los, his)
+        return self._bounds
+
+    def as_query_matrix(self) -> QueryMatrix:
+        """The tree's measurement regions as a sparse query operator, one row
+        per node in node-index order."""
+        los, his = self.node_bounds()
+        return QueryMatrix(los, his, self.domain_shape)
+
     def node_totals(self, x: np.ndarray) -> np.ndarray:
-        """True block totals for every node, in node-index order."""
-        x = np.asarray(x, dtype=float)
-        return np.array([x[node.slices()].sum() for node in self.nodes])
+        """True block totals for every node, in node-index order.
+
+        Computed through one summed-area table (O(n + nodes)) rather than a
+        per-node slice loop; exact for integer-valued counts.
+        """
+        los, his = self.node_bounds()
+        return PrefixSum(np.asarray(x, dtype=float)).range_sums(los, his)
 
     # -- range decomposition -------------------------------------------------------
     def decompose_range(self, lo: tuple[int, ...], hi: tuple[int, ...]) -> list[int]:
@@ -170,11 +194,86 @@ class HierarchicalTree:
 
     def level_usage(self, workload) -> np.ndarray:
         """Number of nodes per level used by the canonical decomposition of
-        every workload query.  Drives GreedyH's budget allocation."""
+        every workload query.  Drives GreedyH's budget allocation.
+
+        In 1-D the counts are computed with vectorised rank queries over the
+        sorted per-level intervals — O((q + nodes) log nodes) instead of one
+        recursive decomposition per query; 2-D falls back to the recursion.
+        """
+        if len(self.domain_shape) == 1:
+            return self._level_usage_1d(workload)
         usage = np.zeros(self.n_levels)
         for query in workload:
             for idx in self.decompose_range(query.lo, query.hi):
                 usage[self.nodes[idx].level] += 1
+        return usage
+
+    def _level_tables_1d(self):
+        """Sorted per-level interval tables used by the vectorised usage count."""
+        if self._levels_1d is None:
+            tables = []
+            for level_nodes in self.levels():
+                starts = np.array([n.lo[0] for n in level_nodes], dtype=np.intp)
+                ends = np.array([n.hi[0] for n in level_nodes], dtype=np.intp)
+                kids = np.array([len(n.children) for n in level_nodes], dtype=np.intp)
+                kids_cum = np.zeros(kids.size + 1, dtype=np.intp)
+                np.cumsum(kids, out=kids_cum[1:])
+                # Nodes within a level are created left-to-right, so starts
+                # (and, the intervals being disjoint, ends) are sorted.
+                tables.append({"starts": starts, "ends": ends, "kids_cum": kids_cum})
+            self._levels_1d = tables
+        if self._leaves_1d is None:
+            leaf_nodes = sorted(self.leaves(), key=lambda n: n.lo[0])
+            self._leaves_1d = {
+                "starts": np.array([n.lo[0] for n in leaf_nodes], dtype=np.intp),
+                "ends": np.array([n.hi[0] for n in leaf_nodes], dtype=np.intp),
+                "levels": np.array([n.level for n in leaf_nodes], dtype=np.intp),
+            }
+        return self._levels_1d, self._leaves_1d
+
+    def _level_usage_1d(self, workload) -> np.ndarray:
+        tables, leaves = self._level_tables_1d()
+        los = np.array([q.lo[0] for q in workload], dtype=np.intp)
+        his = np.array([q.hi[0] for q in workload], dtype=np.intp)
+        usage = np.zeros(self.n_levels)
+
+        # A node is used iff it lies inside the query while its parent does
+        # not (the root is used whenever it is inside).  Per level, the inside
+        # nodes form a contiguous run of the sorted intervals, and the number
+        # of nodes whose parent is inside is the child count of the previous
+        # level's inside run.
+        prev_run = None
+        for level, table in enumerate(tables):
+            i = np.searchsorted(table["starts"], los, side="left")
+            j = np.searchsorted(table["ends"], his, side="right")
+            inside = np.maximum(j - i, 0)
+            covered = 0
+            if prev_run is not None:
+                pi, pj, ptable = prev_run
+                valid = pj > pi
+                covered = np.where(
+                    valid,
+                    ptable["kids_cum"][np.minimum(pj, ptable["kids_cum"].size - 1)]
+                    - ptable["kids_cum"][np.minimum(pi, ptable["kids_cum"].size - 1)],
+                    0,
+                )
+            usage[level] = float(np.sum(inside - covered))
+            prev_run = (i, j, table)
+
+        # Partial-overlap leaves: an intersecting but not-inside leaf at each
+        # end of the query (at most one per side, possibly the same leaf).
+        i0 = np.searchsorted(leaves["ends"], los, side="left")
+        j0 = np.searchsorted(leaves["starts"], his, side="right")
+        i1 = np.searchsorted(leaves["starts"], los, side="left")
+        j1 = np.searchsorted(leaves["ends"], his, side="right")
+        left = i1 > i0
+        right = j0 > j1
+        same = left & right & (i0 == j0 - 1)
+        if np.any(left):
+            np.add.at(usage, leaves["levels"][i0[left]], 1.0)
+        right_only = right & ~same
+        if np.any(right_only):
+            np.add.at(usage, leaves["levels"][j0[right_only] - 1], 1.0)
         return usage
 
 

@@ -1,4 +1,10 @@
-"""DPBench core: the evaluation framework itself."""
+"""DPBench core: the evaluation framework itself.
+
+NOTE: ``.benchmark`` must stay among the first imports here — it forces the
+``repro.algorithms`` package to finish initialising, which ``.registry``
+(attribute access on the algorithms package) and the algorithm modules'
+imports of ``.measurement``/``.gls`` rely on.
+"""
 
 from .analysis import (
     baseline_comparison,
@@ -9,6 +15,8 @@ from .analysis import (
 )
 from .benchmark import BenchmarkGrid, DPBench
 from .executor import Job, JobRuntime, ParallelExecutor, SerialExecutor
+from .gls import solve_gls
+from .measurement import MeasurementSet
 from .error import (
     ErrorSummary,
     bias_variance_decomposition,
@@ -46,6 +54,8 @@ __all__ = [
     "JobRuntime",
     "SerialExecutor",
     "ParallelExecutor",
+    "MeasurementSet",
+    "solve_gls",
     "DataGenerator",
     "ResultSet",
     "RunRecord",

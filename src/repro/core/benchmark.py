@@ -201,7 +201,13 @@ class DPBench:
     # -- per-job execution ----------------------------------------------------------
     def _generate_data(self, dataset_name: str, domain_shape: tuple[int, ...],
                        scale: int, workload: Workload, root_entropy: int):
-        """Sample the cell's data vectors and evaluate the true answers once."""
+        """Sample the cell's data vectors and evaluate the true answers once.
+
+        True-answer evaluation (here and per-trial estimate evaluation in
+        ``_run_algorithm``) goes through ``workload.evaluate``, i.e. the one
+        cached sparse operator of the runtime's per-domain workload
+        (``Workload.operator``) — no per-call query loops or matrices.
+        """
         dataset = self._dataset_by_name()[dataset_name]
         seed = data_seed_sequence(root_entropy, dataset_name, domain_shape, scale)
         rng = np.random.default_rng(seed)
@@ -333,10 +339,12 @@ class DPBench:
         if checkpoint is not None:
             path = Path(checkpoint)
             path.parent.mkdir(parents=True, exist_ok=True)
-            if resume and prior_entries:
+            if resume and path.exists():
                 # Rewrite the log from its parsed entries before appending:
                 # a run killed mid-write leaves a torn final line, and a raw
-                # append would glue the next record onto the fragment.
+                # append would glue the next record onto the fragment.  This
+                # must happen even when zero entries parsed (killed while
+                # writing the very first record), truncating the fragment.
                 tmp = path.with_name(path.name + ".tmp")
                 tmp.write_text(
                     "".join(json.dumps(e) + "\n" for e in prior_entries),

@@ -39,6 +39,8 @@ def mean_scaled_error(
     x = np.asarray(x, dtype=float)
     if workload is None:
         workload = default_workload(x.shape, rng=rng)
+    # One evaluation of the truth, and per-trial estimate evaluations, all
+    # through the workload's single cached sparse operator.
     true_answers = workload.evaluate(x)
     scale = max(float(x.sum()), 1.0)
     errors = []

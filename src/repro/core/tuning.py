@@ -95,6 +95,8 @@ class ParameterTuner:
         result = TuningResult(algorithm=self.algorithm, parameter_grid=self.parameter_grid)
         shapes = self._training_shapes(rng)
         candidates = self._candidates()
+        # One workload for the whole grid search: every true-answer and
+        # estimate evaluation below reuses its cached sparse operator.
         workload = default_workload((self.domain_size,), rng=rng)
 
         for signal in epsilon_scale_products:

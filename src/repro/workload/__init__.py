@@ -7,6 +7,7 @@ from .builders import (
     prefix_workload,
     random_range_workload,
 )
+from .linops import QueryMatrix
 from .prefix_sum import PrefixSum
 from .rangequery import RangeQuery, Workload
 
@@ -14,6 +15,7 @@ __all__ = [
     "RangeQuery",
     "Workload",
     "PrefixSum",
+    "QueryMatrix",
     "prefix_workload",
     "identity_workload",
     "all_range_workload",

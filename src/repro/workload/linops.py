@@ -1,0 +1,266 @@
+"""Sparse linear-operator representation of range-query sets.
+
+Every measurement and workload in the benchmark is a set of axis-aligned
+range queries, i.e. a 0/1 *query matrix* ``W`` with one row per query and one
+column per domain cell.  Materialising ``W`` densely is O(q * n); this module
+provides :class:`QueryMatrix`, which exploits the range structure twice over:
+
+* **implicit application** — ``W @ x`` is answered through a summed-area
+  table (O(n + q)), and the adjoint ``W.T @ y`` through 1-D/2-D difference
+  arrays (O(q + n)), so neither direction ever touches a matrix entry;
+* **sparse materialisation** — when an explicit matrix is genuinely needed
+  (normal equations, matrix-mechanism analyses) a CSR matrix is built with
+  fully vectorised run-length expansion and cached.
+
+:class:`QueryMatrix` is the single currency shared by workload evaluation,
+:class:`~repro.core.measurement.MeasurementSet` and the generic least-squares
+solver in :mod:`repro.core.gls`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .prefix_sum import PrefixSum
+
+__all__ = ["QueryMatrix"]
+
+
+def _expand_runs(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenate ``arange(s, s + l)`` for every run, fully vectorised."""
+    lengths = np.asarray(lengths, dtype=np.intp)
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.intp)
+    # Position of each output element inside its run, via the classic
+    # repeat/cumsum trick: offsets restart at 0 at every run boundary.
+    run_ids = np.repeat(np.arange(lengths.size), lengths)
+    run_offsets = np.arange(total) - np.repeat(np.cumsum(lengths) - lengths, lengths)
+    return np.asarray(starts, dtype=np.intp)[run_ids] + run_offsets
+
+
+class QueryMatrix:
+    """The 0/1 matrix of a set of inclusive axis-aligned range queries.
+
+    Parameters
+    ----------
+    los, his:
+        Integer arrays of shape ``(q, ndim)`` holding the inclusive lower and
+        upper corners of every query.
+    domain_shape:
+        Shape of the count array the queries refer to (1-D or 2-D).
+    """
+
+    def __init__(self, los: np.ndarray, his: np.ndarray, domain_shape: tuple[int, ...]):
+        los = np.atleast_2d(np.asarray(los, dtype=np.intp))
+        his = np.atleast_2d(np.asarray(his, dtype=np.intp))
+        domain_shape = tuple(int(d) for d in domain_shape)
+        if len(domain_shape) not in (1, 2):
+            raise ValueError("only 1-D and 2-D domains are supported")
+        if los.shape != his.shape or los.ndim != 2 or los.shape[1] != len(domain_shape):
+            raise ValueError("los/his must have shape (q, ndim) matching the domain")
+        if np.any(los < 0) or np.any(his < los):
+            raise ValueError("queries must satisfy 0 <= lo <= hi")
+        if np.any(his >= np.asarray(domain_shape, dtype=np.intp)):
+            raise ValueError(f"queries exceed domain {domain_shape}")
+        self._los = los
+        self._his = his
+        self._domain_shape = domain_shape
+        self._csr = None
+        self._cell_counts = None
+
+    # -- metadata -----------------------------------------------------------------
+    @property
+    def los(self) -> np.ndarray:
+        return self._los
+
+    @property
+    def his(self) -> np.ndarray:
+        return self._his
+
+    @property
+    def domain_shape(self) -> tuple[int, ...]:
+        return self._domain_shape
+
+    @property
+    def ndim(self) -> int:
+        return len(self._domain_shape)
+
+    @property
+    def n_queries(self) -> int:
+        return self._los.shape[0]
+
+    @property
+    def domain_size(self) -> int:
+        return int(np.prod(self._domain_shape))
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        """Matrix shape ``(q, n)``."""
+        return (self.n_queries, self.domain_size)
+
+    def __len__(self) -> int:
+        return self.n_queries
+
+    def __getitem__(self, selector) -> "QueryMatrix":
+        """Row subset (boolean mask or index array) as a new operator."""
+        return QueryMatrix(self._los[selector], self._his[selector], self._domain_shape)
+
+    def query_sizes(self) -> np.ndarray:
+        """Number of cells covered by each query (row sums of ``W``)."""
+        return np.prod(self._his - self._los + 1, axis=1).astype(np.intp)
+
+    # -- implicit application -----------------------------------------------------
+    def _as_domain(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=float)
+        if x.shape == self._domain_shape:
+            return x
+        if x.ndim == 1 and x.size == self.domain_size:
+            return x.reshape(self._domain_shape)
+        raise ValueError(
+            f"operand shape {x.shape} does not match domain {self._domain_shape}")
+
+    def matvec(self, x: np.ndarray) -> np.ndarray:
+        """``W @ x`` through a summed-area table — O(n + q), no matrix."""
+        return PrefixSum(self._as_domain(x)).range_sums(self._los, self._his)
+
+    def rmatvec(self, y: np.ndarray) -> np.ndarray:
+        """``W.T @ y`` through difference arrays — O(q + n), no matrix.
+
+        Each query scatters its coefficient onto the corners of its range;
+        cumulative sums then spread the coefficients across the covered cells
+        (the adjoint of the summed-area trick used by :meth:`matvec`).
+        """
+        y = np.asarray(y, dtype=float)
+        if y.shape != (self.n_queries,):
+            raise ValueError(f"expected {self.n_queries} coefficients, got shape {y.shape}")
+        if self.ndim == 1:
+            (n,) = self._domain_shape
+            diff = np.zeros(n + 1)
+            np.add.at(diff, self._los[:, 0], y)
+            np.add.at(diff, self._his[:, 0] + 1, -y)
+            return np.cumsum(diff)[:-1]
+        rows, cols = self._domain_shape
+        diff = np.zeros((rows + 1, cols + 1))
+        r0, c0 = self._los[:, 0], self._los[:, 1]
+        r1, c1 = self._his[:, 0] + 1, self._his[:, 1] + 1
+        np.add.at(diff, (r0, c0), y)
+        np.add.at(diff, (r0, c1), -y)
+        np.add.at(diff, (r1, c0), -y)
+        np.add.at(diff, (r1, c1), y)
+        return diff.cumsum(axis=0).cumsum(axis=1)[:-1, :-1]
+
+    def cell_counts(self) -> np.ndarray:
+        """Number of queries covering each cell (integer column sums of ``W``)."""
+        if self._cell_counts is None:
+            if self.ndim == 1:
+                (n,) = self._domain_shape
+                diff = np.zeros(n + 1, dtype=np.int64)
+                np.add.at(diff, self._los[:, 0], 1)
+                np.add.at(diff, self._his[:, 0] + 1, -1)
+                self._cell_counts = np.cumsum(diff)[:-1]
+            else:
+                rows, cols = self._domain_shape
+                diff = np.zeros((rows + 1, cols + 1), dtype=np.int64)
+                r0, c0 = self._los[:, 0], self._los[:, 1]
+                r1, c1 = self._his[:, 0] + 1, self._his[:, 1] + 1
+                np.add.at(diff, (r0, c0), 1)
+                np.add.at(diff, (r0, c1), -1)
+                np.add.at(diff, (r1, c0), -1)
+                np.add.at(diff, (r1, c1), 1)
+                self._cell_counts = diff.cumsum(axis=0).cumsum(axis=1)[:-1, :-1]
+        return self._cell_counts
+
+    def sensitivity(self) -> int:
+        """L1 sensitivity: the maximum number of queries any cell participates
+        in.  O(q + n) via the difference-array column counts."""
+        return int(self.cell_counts().max())
+
+    def overlap_sums(self, x: np.ndarray, lo: tuple[int, ...], hi: tuple[int, ...]) -> np.ndarray:
+        """Mass of ``x`` inside the intersection of every query with ``[lo, hi]``.
+
+        The workhorse of MWEM's incremental answer updates: after cells inside
+        ``[lo, hi]`` are re-weighted by a common factor, every query answer
+        changes by ``(factor - 1)`` times its overlap with the update region.
+        Cost is O(|region| + q) — a local summed-area table over the region
+        plus one vectorised lookup per query.
+        """
+        x = self._as_domain(x)
+        if self.ndim == 1:
+            # Flat fast path: clamp into the region and look the overlaps up
+            # in one local prefix table; empty intersections clamp to an
+            # empty [lo, lo) span and contribute exactly zero.
+            local = np.zeros(hi[0] - lo[0] + 2)
+            np.cumsum(x[lo[0]: hi[0] + 1], out=local[1:])
+            a = np.clip(self._los[:, 0], lo[0], hi[0] + 1)
+            b = np.clip(self._his[:, 0] + 1, lo[0], hi[0] + 1)
+            return local[b - lo[0]] - local[a - lo[0]]
+        a = np.maximum(self._los, np.asarray(lo, dtype=np.intp))
+        b = np.minimum(self._his, np.asarray(hi, dtype=np.intp))
+        valid = np.all(a <= b, axis=1)
+        out = np.zeros(self.n_queries)
+        if not np.any(valid):
+            return out
+        sub = x[lo[0]: hi[0] + 1, lo[1]: hi[1] + 1]
+        local = np.zeros((sub.shape[0] + 1, sub.shape[1] + 1))
+        local[1:, 1:] = sub.cumsum(axis=0).cumsum(axis=1)
+        r0 = a[valid, 0] - lo[0]
+        c0 = a[valid, 1] - lo[1]
+        r1 = b[valid, 0] - lo[0] + 1
+        c1 = b[valid, 1] - lo[1] + 1
+        out[valid] = local[r1, c1] - local[r0, c1] - local[r1, c0] + local[r0, c0]
+        return out
+
+    # -- materialisation ----------------------------------------------------------
+    def to_sparse(self):
+        """CSR materialisation of ``W`` (cached).
+
+        Rows are expanded run-by-run: a 1-D query is one contiguous run of
+        columns, a 2-D query is one run per covered row of the rectangle, so
+        the construction is fully vectorised with no per-query Python loop.
+        """
+        if self._csr is None:
+            from scipy import sparse
+
+            if self.ndim == 1:
+                starts = self._los[:, 0]
+                lengths = self._his[:, 0] - self._los[:, 0] + 1
+            else:
+                _, cols = self._domain_shape
+                heights = self._his[:, 0] - self._los[:, 0] + 1
+                # One run per covered row of each rectangle.
+                run_rows = _expand_runs(self._los[:, 0], heights)
+                run_query = np.repeat(np.arange(self.n_queries), heights)
+                starts = run_rows * cols + self._los[run_query, 1]
+                lengths = (self._his[:, 1] - self._los[:, 1] + 1)[run_query]
+            indices = _expand_runs(starts, lengths)
+            if self.ndim == 1:
+                indptr = np.zeros(self.n_queries + 1, dtype=np.intp)
+                np.cumsum(lengths, out=indptr[1:])
+            else:
+                per_query = np.zeros(self.n_queries, dtype=np.intp)
+                np.add.at(per_query, run_query, lengths)
+                indptr = np.zeros(self.n_queries + 1, dtype=np.intp)
+                np.cumsum(per_query, out=indptr[1:])
+            data = np.ones(indices.size)
+            self._csr = sparse.csr_matrix((data, indices, indptr),
+                                          shape=(self.n_queries, self.domain_size))
+        return self._csr
+
+    def to_dense(self) -> np.ndarray:
+        """Dense materialisation — intended for small domains only."""
+        return self.to_sparse().toarray()
+
+    def as_linear_operator(self):
+        """A :class:`scipy.sparse.linalg.LinearOperator` over the implicit
+        prefix-sum/difference-array application (nothing materialised)."""
+        from scipy.sparse.linalg import LinearOperator
+
+        return LinearOperator(
+            shape=self.shape,
+            matvec=lambda x: self.matvec(x),
+            rmatvec=lambda y: self.rmatvec(y).ravel(),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryMatrix(queries={self.n_queries}, domain={self._domain_shape})"

@@ -14,7 +14,7 @@ from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
-from .prefix_sum import PrefixSum
+from .linops import QueryMatrix
 
 __all__ = ["RangeQuery", "Workload"]
 
@@ -98,6 +98,7 @@ class Workload:
         self.name = name
         self._los = np.array([q.lo for q in queries], dtype=np.intp)
         self._his = np.array([q.hi for q in queries], dtype=np.intp)
+        self._operator: QueryMatrix | None = None
 
     # -- basic container protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -126,6 +127,15 @@ class Workload:
         return int(np.prod(self._domain_shape))
 
     # -- evaluation ---------------------------------------------------------------
+    @property
+    def operator(self) -> QueryMatrix:
+        """The workload's :class:`QueryMatrix` — a sparse linear operator
+        shared by every consumer (evaluation, MWEM's update loop, sensitivity
+        analysis, the GLS solver).  Built once per workload and cached."""
+        if self._operator is None:
+            self._operator = QueryMatrix(self._los, self._his, self._domain_shape)
+        return self._operator
+
     def evaluate(self, x: np.ndarray) -> np.ndarray:
         """Answer every query against ``x`` (returned in workload order)."""
         x = np.asarray(x, dtype=float)
@@ -133,41 +143,43 @@ class Workload:
             raise ValueError(
                 f"data shape {x.shape} does not match workload domain {self._domain_shape}"
             )
-        return PrefixSum(x).range_sums(self._los, self._his)
+        return self.operator.matvec(x)
 
     def sensitivity(self) -> int:
         """L1 sensitivity of the workload: the maximum number of queries any
         single cell participates in (adding one record changes that many
-        answers by one each)."""
-        counts = np.zeros(self._domain_shape, dtype=np.int64)
-        if self.ndim == 1:
-            for lo, hi in zip(self._los, self._his):
-                counts[lo[0] : hi[0] + 1] += 1
-        else:
-            for lo, hi in zip(self._los, self._his):
-                counts[lo[0] : hi[0] + 1, lo[1] : hi[1] + 1] += 1
-        return int(counts.max())
+        answers by one each).  O(q + n) via difference-array column counts."""
+        return self.operator.sensitivity()
+
+    def to_sparse(self):
+        """CSR query matrix ``W`` such that ``W @ x.ravel()`` answers the
+        workload (cached on the workload's :attr:`operator`)."""
+        return self.operator.to_sparse()
 
     def to_matrix(self) -> np.ndarray:
-        """Dense query matrix ``W`` such that ``W @ x.ravel()`` answers the
-        workload.  Intended for small domains (tests, analyses)."""
-        n = self.domain_size
-        matrix = np.zeros((len(self), n))
-        for row, query in enumerate(self._queries):
-            indicator = np.zeros(self._domain_shape)
-            slices = tuple(slice(a, b + 1) for a, b in zip(query.lo, query.hi))
-            indicator[slices] = 1.0
-            matrix[row] = indicator.ravel()
-        return matrix
+        """Dense query matrix — intended for small domains (tests, analyses)."""
+        return self.operator.to_dense()
 
     def restricted_to(self, domain_shape: tuple[int, ...]) -> "Workload":
-        """Clip every query to a smaller domain (used when coarsening)."""
-        clipped = []
+        """Restrict the workload to a smaller (coarsened) domain.
+
+        Queries that intersect the new domain are clipped to it; queries lying
+        *entirely outside* are dropped (previously they were clamped onto the
+        last cell, silently re-weighting the boundary in domain-size sweeps).
+        Raises ``ValueError`` if no query intersects the new domain, because a
+        workload cannot be empty.
+        """
+        domain_shape = tuple(int(d) for d in domain_shape)
+        kept = []
         for q in self._queries:
+            if any(l >= d for l, d in zip(q.lo, domain_shape)):
+                continue                              # entirely outside: drop
             hi = tuple(min(h, d - 1) for h, d in zip(q.hi, domain_shape))
-            lo = tuple(min(l, d - 1) for l, d in zip(q.lo, domain_shape))
-            clipped.append(RangeQuery(lo, hi))
-        return Workload(clipped, domain_shape, name=self.name)
+            kept.append(RangeQuery(q.lo, hi))
+        if not kept:
+            raise ValueError(
+                f"no query of {self.name!r} intersects the domain {domain_shape}")
+        return Workload(kept, domain_shape, name=self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Workload(name={self.name!r}, queries={len(self)}, domain={self._domain_shape})"

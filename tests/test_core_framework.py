@@ -20,7 +20,6 @@ from repro import (
     bias_variance_decomposition,
     competitive_algorithms,
     competitive_counts,
-    make_algorithm,
     mean_vs_p95_disagreements,
     regret,
     scaled_average_per_query_error,

@@ -227,6 +227,23 @@ class TestCheckpointResume:
         assert counting.jobs_run == []
         assert_identical_results(tiny_bench.run(rng=7), again)
 
+    def test_resume_after_torn_first_record(self, tiny_bench, tmp_path):
+        """A run killed while writing its *first* record leaves only a torn
+        fragment (zero parseable lines).  Resuming must truncate the fragment
+        rather than append onto it, or the log is corrupted forever."""
+        path = tmp_path / "run.jsonl"
+        tiny_bench.run(rng=7, checkpoint=path)
+        first_line = path.read_text().splitlines()[0]
+        path.write_text(first_line[:40])             # only a fragment, no \n
+        resumed = tiny_bench.run(rng=7, checkpoint=path, resume=True)
+        assert_identical_results(tiny_bench.run(rng=7), resumed)
+        reparsed = [json.loads(line) for line in path.read_text().splitlines()]
+        assert len(reparsed) == 8                    # every line valid JSON
+        counting = CountingExecutor()
+        again = tiny_bench.run(rng=7, checkpoint=path, resume=True, executor=counting)
+        assert counting.jobs_run == []
+        assert_identical_results(tiny_bench.run(rng=7), again)
+
     def test_unsupported_opaque_factory_not_rerun_on_resume(self, tiny_bench, tmp_path):
         """A callable factory whose product turns out not to support the
         grid's ndim leaves a skip marker in the run-log, so resuming does not

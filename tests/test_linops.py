@@ -1,0 +1,166 @@
+"""Unit tests for the sparse query-matrix linear operator."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    QueryMatrix,
+    Workload,
+    RangeQuery,
+    all_range_workload,
+    identity_workload,
+    prefix_workload,
+    random_range_workload,
+)
+
+
+def _operator(workload: Workload) -> QueryMatrix:
+    return workload.operator
+
+
+def _brute_force_counts(workload: Workload) -> np.ndarray:
+    counts = np.zeros(workload.domain_shape, dtype=np.int64)
+    for q in workload:
+        slices = tuple(slice(a, b + 1) for a, b in zip(q.lo, q.hi))
+        counts[slices] += 1
+    return counts
+
+
+WORKLOAD_CASES = [
+    prefix_workload(33),
+    all_range_workload(12),
+    identity_workload((17,)),
+    identity_workload((5, 7)),
+    random_range_workload((40,), n_queries=60, rng=0),
+    random_range_workload((9, 13), n_queries=80, rng=1),
+]
+
+
+class TestQueryMatrix:
+    @pytest.mark.parametrize("workload", WORKLOAD_CASES, ids=lambda w: w.name)
+    def test_csr_matches_dense_definition(self, workload):
+        dense = np.zeros((len(workload), workload.domain_size))
+        for row, q in enumerate(workload):
+            indicator = np.zeros(workload.domain_shape)
+            slices = tuple(slice(a, b + 1) for a, b in zip(q.lo, q.hi))
+            indicator[slices] = 1.0
+            dense[row] = indicator.ravel()
+        assert np.array_equal(_operator(workload).to_sparse().toarray(), dense)
+        assert np.array_equal(workload.to_matrix(), dense)
+
+    @pytest.mark.parametrize("workload", WORKLOAD_CASES, ids=lambda w: w.name)
+    def test_matvec_matches_csr(self, workload):
+        rng = np.random.default_rng(3)
+        x = rng.random(workload.domain_shape)
+        operator = _operator(workload)
+        assert np.allclose(operator.matvec(x), operator.to_sparse() @ x.ravel())
+        # Raveled operands are accepted too (LinearOperator protocol).
+        assert np.allclose(operator.matvec(x.ravel()), operator.matvec(x))
+
+    @pytest.mark.parametrize("workload", WORKLOAD_CASES, ids=lambda w: w.name)
+    def test_rmatvec_is_adjoint(self, workload):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal(workload.domain_shape)
+        y = rng.standard_normal(len(workload))
+        operator = _operator(workload)
+        lhs = float(y @ operator.matvec(x))
+        rhs = float((operator.rmatvec(y) * x).sum())
+        assert lhs == pytest.approx(rhs, rel=1e-10)
+        assert np.allclose(operator.rmatvec(y).ravel(),
+                           operator.to_sparse().T @ y)
+
+    @pytest.mark.parametrize("workload", WORKLOAD_CASES, ids=lambda w: w.name)
+    def test_cell_counts_and_sensitivity(self, workload):
+        counts = _brute_force_counts(workload)
+        assert np.array_equal(_operator(workload).cell_counts(), counts)
+        assert workload.sensitivity() == counts.max()
+
+    @pytest.mark.parametrize("workload", WORKLOAD_CASES, ids=lambda w: w.name)
+    def test_overlap_sums(self, workload):
+        rng = np.random.default_rng(5)
+        x = rng.random(workload.domain_shape)
+        operator = _operator(workload)
+        region = workload[rng.integers(len(workload))]
+        expected = []
+        for q in workload:
+            a = tuple(max(qa, ra) for qa, ra in zip(q.lo, region.lo))
+            b = tuple(min(qb, rb) for qb, rb in zip(q.hi, region.hi))
+            if any(ai > bi for ai, bi in zip(a, b)):
+                expected.append(0.0)
+            else:
+                slices = tuple(slice(ai, bi + 1) for ai, bi in zip(a, b))
+                expected.append(float(x[slices].sum()))
+        assert np.allclose(operator.overlap_sums(x, region.lo, region.hi), expected)
+
+    def test_row_subset(self):
+        operator = _operator(prefix_workload(16))
+        subset = operator[np.array([0, 5, 9])]
+        assert subset.n_queries == 3
+        assert np.array_equal(subset.to_sparse().toarray(),
+                              operator.to_sparse().toarray()[[0, 5, 9]])
+
+    def test_linear_operator_wrapper(self):
+        from scipy.sparse.linalg import aslinearoperator
+
+        operator = _operator(random_range_workload((20,), 30, rng=7))
+        wrapped = operator.as_linear_operator()
+        x = np.random.default_rng(8).random(20)
+        assert np.allclose(wrapped @ x, operator.matvec(x))
+        assert np.allclose(aslinearoperator(wrapped).T @ np.ones(30),
+                           operator.rmatvec(np.ones(30)))
+
+    def test_query_sizes(self):
+        operator = _operator(prefix_workload(8))
+        assert np.array_equal(operator.query_sizes(), np.arange(1, 9))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            QueryMatrix(np.array([[0]]), np.array([[5]]), (4,))
+        with pytest.raises(ValueError):
+            QueryMatrix(np.array([[3]]), np.array([[1]]), (8,))
+        with pytest.raises(ValueError):
+            QueryMatrix(np.array([[0, 0]]), np.array([[1, 1]]), (4,))
+        operator = _operator(prefix_workload(8))
+        with pytest.raises(ValueError):
+            operator.matvec(np.zeros(9))
+        with pytest.raises(ValueError):
+            operator.rmatvec(np.zeros(9))
+
+
+class TestWorkloadOperatorIntegration:
+    def test_evaluate_routes_through_cached_operator(self):
+        workload = prefix_workload(32)
+        first = workload.operator
+        assert workload.operator is first          # cached, one per workload
+        x = np.arange(32, dtype=float)
+        assert np.allclose(workload.evaluate(x), first.matvec(x))
+
+    def test_to_sparse_cached(self):
+        workload = prefix_workload(16)
+        assert workload.to_sparse() is workload.to_sparse()
+
+
+class TestRestrictedTo:
+    def test_clips_partial_and_drops_outside(self):
+        queries = [RangeQuery((0,), (3,)), RangeQuery((2,), (9,)), RangeQuery((6,), (9,))]
+        workload = Workload(queries, (10,), name="w")
+        restricted = workload.restricted_to((5,))
+        # [6, 9] lies entirely outside the 5-cell domain and is dropped;
+        # [2, 9] is clipped to [2, 4].
+        assert [(q.lo, q.hi) for q in restricted] == [((0,), (3,)), ((2,), (4,))]
+        assert restricted.domain_shape == (5,)
+
+    def test_drop_changes_query_count(self):
+        workload = Workload([RangeQuery((i,), (i,)) for i in range(8)], (8,))
+        assert len(workload.restricted_to((3,))) == 3
+
+    def test_2d_outside_any_axis_dropped(self):
+        queries = [RangeQuery((0, 0), (1, 1)), RangeQuery((0, 5), (1, 6)),
+                   RangeQuery((5, 0), (6, 1))]
+        restricted = Workload(queries, (8, 8)).restricted_to((4, 4))
+        assert len(restricted) == 1
+
+    def test_all_outside_raises(self):
+        workload = Workload([RangeQuery((6,), (7,))], (8,))
+        with pytest.raises(ValueError, match="no query"):
+            workload.restricted_to((4,))
