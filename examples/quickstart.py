@@ -123,6 +123,21 @@ def main() -> None:
     #                                    epsilon_spent=epsilon)
     #        estimate = repro.solve_gls(mset)
 
+    # 7. Data-dependent mechanisms speak the same currency.  DAWA privately
+    #    partitions the domain (a vectorised O(n log n) search), measures the
+    #    bucket hierarchy GreedyH-style, and its whole stage two is one
+    #    MeasurementSet over the cells — so it fuses with any other
+    #    mechanism's measurements of the same data: combine and solve once.
+    from repro.algorithms.dawa import DAWA
+
+    dawa_mset, edges = DAWA().measure(x, epsilon, np.random.default_rng(2),
+                                      workload=workload)
+    fused = dawa_mset.combined_with(measurements)    # + the Hb-style tree view
+    fused_estimate = repro.solve_gls(fused)
+    print(f"\nDAWA measurements: {dawa_mset!r} over {edges.size - 1} buckets")
+    print(f"fused DAWA+tree release (eps={fused.epsilon_spent:.2f}) error: "
+          f"{repro.scaled_average_per_query_error(true_answers, workload.evaluate(fused_estimate), dataset.scale):.3e}")
+
 
 def _noisy_tree_measurements(x, tree, epsilon):
     """Hand-rolled node measurements for the quickstart's section 6."""

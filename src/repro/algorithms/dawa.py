@@ -7,6 +7,13 @@ against the fixed noise cost every bucket incurs.  Stage two measures the
 bucket totals with the workload-aware hierarchical strategy GreedyH and
 expands each bucket uniformly over its cells.
 
+Stage two is expressed in the shared measurement/inference currency: the
+bucket-tree measurements are a :class:`~repro.core.measurement.MeasurementSet`
+(emitted via :func:`~repro.algorithms.hier.measure_tree` on the bucket
+domain), solved by :func:`~repro.core.gls.solve_gls`, and re-expressible over
+the cell domain through :meth:`MeasurementSet.through_partition` so DAWA
+composes with cross-mechanism fusion (``MeasurementSet.combined_with``).
+
 Implementation notes (documented substitutions from the original):
 
 * The stage-one dynamic program restricts candidate buckets to intervals
@@ -21,36 +28,40 @@ Implementation notes (documented substitutions from the original):
   from prefix sums.
 
 For 2-D inputs the grid is flattened along a Hilbert curve, exactly as in the
-paper.
+paper, and the 2-D workload rides along: every rectangle query is mapped to
+the span of its cells' positions on the curve (:func:`flatten_workload`), so
+2-D DAWA stays workload-aware.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from ..core.gls import solve_gls
+from ..core.measurement import MeasurementSet
 from ..workload.builders import prefix_workload
 from ..workload.rangequery import Workload
 from .base import Algorithm, AlgorithmProperties
-from .greedy_h import GreedyH
-from .hilbert import flatten_2d, unflatten_2d
+from .greedy_h import greedy_budget_allocation
+from .hier import measure_tree
+from .hilbert import flatten_2d, flatten_matching_workload, unflatten_2d
 from .mechanisms import PrivacyBudget, laplace_noise
+from .tree import HierarchicalTree
 
-__all__ = ["DAWA", "l1_partition"]
+__all__ = ["DAWA", "l1_partition", "l1_partition_reference"]
 
 
-def l1_partition(noisy: np.ndarray, bucket_penalty: float,
-                 noise_scale: float = 0.0) -> list[tuple[int, int]]:
-    """Least-cost partition of ``noisy`` into intervals of power-of-two length.
+def _interval_costs(noisy: np.ndarray, bucket_penalty: float,
+                    noise_scale: float) -> tuple[list[int], list[np.ndarray]]:
+    """Per-length arrays of candidate-bucket costs, shared by both DP paths.
 
-    The cost of a bucket ``B`` is ``sqrt(|B| * SSE(B)) + bucket_penalty``;
-    the dynamic program minimises the total cost.  Returns half-open
-    ``(lo, hi)`` intervals covering ``[0, n)`` in order.
-
-    ``noise_scale`` is the Laplace scale of the noise already present in
-    ``noisy``; the expected noise contribution ``(|B| - 1) * 2 * scale**2`` is
-    subtracted from each bucket's SSE so that genuinely uniform regions are
-    not penalised for looking noisy.  (This de-biasing is post-processing of
-    the noisy vector and costs no additional privacy budget.)
+    ``costs[j][s]`` is the cost of the bucket ``[s, s + lengths[j])``:
+    the Cauchy–Schwarz deviation bound ``sqrt(|B| * SSE(B))`` plus the fixed
+    ``bucket_penalty``.  The expected noise contribution
+    ``(|B| - 1) * 2 * noise_scale**2`` is subtracted from each bucket's SSE so
+    that genuinely uniform regions are not penalised for looking noisy (this
+    de-biasing is post-processing of the noisy vector and costs no additional
+    privacy budget).
     """
     n = noisy.size
     prefix = np.concatenate([[0.0], np.cumsum(noisy)])
@@ -63,17 +74,39 @@ def l1_partition(noisy: np.ndarray, bucket_penalty: float,
         lengths.append(length)
         length *= 2
 
-    # interval_cost[j][i] = cost of the bucket [i - lengths[j], i)
-    interval_cost = []
+    costs = []
     for length in lengths:
-        his = np.arange(length, n + 1)
-        los = his - length
-        total = prefix[his] - prefix[los]
-        total_sq = prefix_sq[his] - prefix_sq[los]
+        # cost of [s, s + length) for every start s, via prefix-array slices
+        total = prefix[length:] - prefix[:n + 1 - length]
+        total_sq = prefix_sq[length:] - prefix_sq[:n + 1 - length]
         sse = np.maximum(total_sq - total * total / length, 0.0)
         sse = np.maximum(sse - (length - 1) * noise_variance, 0.0)
         deviation = np.sqrt(length * sse)
-        interval_cost.append(deviation + bucket_penalty)
+        costs.append(deviation + bucket_penalty)
+    return lengths, costs
+
+
+def _backtrack(choice, n: int) -> list[tuple[int, int]]:
+    buckets: list[tuple[int, int]] = []
+    i = n
+    while i > 0:
+        length = int(choice[i])
+        buckets.append((i - length, i))
+        i -= length
+    buckets.reverse()
+    return buckets
+
+
+def l1_partition_reference(noisy: np.ndarray, bucket_penalty: float,
+                           noise_scale: float = 0.0) -> list[tuple[int, int]]:
+    """Reference dynamic program for :func:`l1_partition` (plain double loop).
+
+    Kept as the executable specification: the vectorised path is
+    cross-validated against it (bitwise-identical partitions) by the property
+    tests and the speed benchmark.
+    """
+    n = noisy.size
+    lengths, interval_cost = _interval_costs(noisy, bucket_penalty, noise_scale)
 
     dp = np.full(n + 1, np.inf)
     dp[0] = 0.0
@@ -88,15 +121,100 @@ def l1_partition(noisy: np.ndarray, bucket_penalty: float,
                 best, best_length = candidate, length
         dp[i] = best
         choice[i] = best_length
+    return _backtrack(choice, n)
 
-    buckets: list[tuple[int, int]] = []
-    i = n
-    while i > 0:
-        length = int(choice[i])
-        buckets.append((i - length, i))
-        i -= length
-    buckets.reverse()
-    return buckets
+
+def l1_partition(noisy: np.ndarray, bucket_penalty: float,
+                 noise_scale: float = 0.0) -> list[tuple[int, int]]:
+    """Least-cost partition of ``noisy`` into intervals of power-of-two length.
+
+    The cost of a bucket ``B`` is ``sqrt(|B| * SSE(B)) + bucket_penalty``;
+    the dynamic program minimises the total cost.  Returns half-open
+    ``(lo, hi)`` intervals covering ``[0, n)`` in order.
+
+    ``noise_scale`` is the Laplace scale of the noise already present in
+    ``noisy``; see :func:`_interval_costs` for the SSE de-biasing it drives.
+
+    This is the fast path: identical output to
+    :func:`l1_partition_reference`, restructured so the ``O(n log n)``
+    candidate evaluation is almost entirely NumPy.  Per cell ``e`` the
+    ``log n`` candidates are rows of a precomputed end-aligned cost matrix
+    ``A[j, e] = cost([e - 2**j, e))``; a vectorised dominance test prunes
+    every candidate that provably cannot win, and only the handful of
+    survivors per cell reach the exact sequential recurrence.
+
+    The pruning rule is *sound*, so the result is bitwise-identical to the
+    reference loop (ties included):  a candidate ``(e - l, e)`` can be
+    discarded when some shorter candidate ``(e - l', e)`` plus a chain of
+    ``l - l'`` singleton buckets (length-1 buckets exist at every offset, and
+    each costs at most ``max(c1)``) is strictly cheaper by more than a margin
+    that dominates the worst-case accumulated rounding of the two path sums.
+    Discarded candidates are strictly worse even after floating-point
+    rounding, so they can never win *or tie*; every candidate that could,
+    including all exact ties, is evaluated by the sequential loop with the
+    same two-operand additions as the reference, in the same ascending-length
+    order.
+    """
+    noisy = np.asarray(noisy, dtype=float)
+    n = noisy.size
+    if n == 0:
+        return []
+    lengths, interval_cost = _interval_costs(noisy, bucket_penalty, noise_scale)
+    n_lengths = len(lengths)
+    lengths_arr = np.array(lengths, dtype=np.intp)
+
+    # End-aligned candidate matrix: A[j, e] = cost of the bucket [e - l_j, e).
+    aligned = np.full((n_lengths, n + 1), np.inf)
+    for j, length in enumerate(lengths):
+        aligned[j, length:] = interval_cost[j]
+
+    # Dominance pruning.  chain_rate bounds the cost of one singleton bucket
+    # from above; the margin dominates the accumulated rounding of two path
+    # sums of <= n additions each (relative error <= n * eps per sum, path
+    # magnitude <= n * max_cost), so a pruned candidate is strictly worse
+    # than the surviving alternative in exact *and* rounded arithmetic.
+    max_c1 = float(interval_cost[0].max())
+    max_cost = max(float(c.max()) for c in interval_cost)
+    chain_rate = max_c1 * (1.0 + 1e-9)
+    eps = float(np.finfo(float).eps)
+    margin = (1.0 + max_cost) * (1e-6 + 8.0 * eps * float(n) ** 2)
+    keep = np.zeros((n_lengths, n + 1), dtype=bool)
+    # keep[0] stays False: the length-1 candidate is always evaluated inline.
+    best_shorter = aligned[0] - lengths[0] * chain_rate
+    for j in range(1, n_lengths):
+        adjusted = aligned[j] - lengths[j] * chain_rate
+        np.less_equal(adjusted, best_shorter + margin, out=keep[j])
+        np.minimum(best_shorter, adjusted, out=best_shorter)
+    keep[:, 0] = False
+
+    # Survivors in (end, ascending length) order — the reference loop's
+    # evaluation order, so ties break identically.
+    surv_end, surv_j = np.nonzero(keep.T)
+    s_end = surv_end.tolist()
+    s_end.append(n + 1)               # sentinel: never equals a real cell
+    s_len = lengths_arr[surv_j].tolist()
+    s_cost = aligned[surv_j, surv_end].tolist()
+    c1 = interval_cost[0].tolist()
+
+    dp = [0.0] * (n + 1)
+    choice = [1] * (n + 1)
+    ptr = 0
+    prev = 0.0
+    i = 0
+    for cost_1 in c1:
+        i += 1
+        best = prev + cost_1
+        best_length = 1
+        while s_end[ptr] == i:
+            length = s_len[ptr]
+            candidate = dp[i - length] + s_cost[ptr]
+            if candidate < best:
+                best, best_length = candidate, length
+            ptr += 1
+        dp[i] = best
+        choice[i] = best_length
+        prev = best
+    return _backtrack(choice, n)
 
 
 class DAWA(Algorithm):
@@ -118,11 +236,22 @@ class DAWA(Algorithm):
         if x.ndim == 1:
             return self._run_1d(x, epsilon, workload, rng)
         flat, ordering = flatten_2d(x)
-        estimate = self._run_1d(flat, epsilon, None, rng)
+        flat_workload = flatten_matching_workload(workload, ordering, x.shape)
+        estimate = self._run_1d(flat, epsilon, flat_workload, rng)
         return unflatten_2d(estimate, ordering, x.shape)
 
-    def _run_1d(self, x: np.ndarray, epsilon: float, workload: Workload | None,
-                rng: np.random.Generator) -> np.ndarray:
+    def _partition_and_measure(
+        self, x: np.ndarray, epsilon: float, workload: Workload | None,
+        rng: np.random.Generator,
+    ) -> tuple[np.ndarray, MeasurementSet]:
+        """Both private stages: the bucket edges and the stage-two
+        :class:`MeasurementSet` over the bucket domain (tree-tagged).
+
+        Stage two measures the *raw* bucket totals — every released quantity
+        is true-value-plus-noise, so the whole mechanism is post-processing
+        of noisy measurements (no data-dependent correction ever touches the
+        release; see the end-to-end privacy tests).
+        """
         rho = float(self.params["rho"])
         budget = PrivacyBudget(epsilon)
         eps_partition = budget.spend(epsilon * rho, "partition")
@@ -131,21 +260,50 @@ class DAWA(Algorithm):
         noisy = x + laplace_noise(1.0 / eps_partition, x.size, rng)
         buckets = l1_partition(noisy, bucket_penalty=1.0 / eps_measure,
                                noise_scale=1.0 / eps_partition)
+        edges = np.fromiter((lo for lo, _ in buckets), dtype=np.intp,
+                            count=len(buckets))
+        edges = np.append(edges, x.size)
 
         bucket_totals = np.array([x[lo:hi].sum() for lo, hi in buckets])
-        widths = np.array([hi - lo for lo, hi in buckets], dtype=float)
 
-        # Stage two: measure the bucket vector with GreedyH (workload-aware
-        # hierarchical strategy) and expand uniformly within each bucket.
-        greedy = GreedyH(branching=int(self.params["branching"]))
-        bucket_workload = prefix_workload(len(buckets))
-        bucket_estimates = greedy.run(np.maximum(bucket_totals, 0.0), eps_measure,
-                                      workload=bucket_workload, rng=rng)
-        # GreedyH validates non-negative inputs, so it is run on the clipped
-        # totals; re-add the clipped mass difference as noise-free zero shift.
-        bucket_estimates = bucket_estimates + (bucket_totals - np.maximum(bucket_totals, 0.0))
+        # Stage two: GreedyH over the bucket domain — a hierarchy whose
+        # per-level budgets follow the workload mapped onto the buckets.
+        tree = HierarchicalTree((len(buckets),),
+                                branching=int(self.params["branching"]))
+        if workload is not None and workload.ndim == 1 \
+                and workload.domain_shape == x.shape:
+            bucket_workload = workload.on_partition(edges)
+        else:
+            bucket_workload = prefix_workload(len(buckets))
+        usage = tree.level_usage(bucket_workload)
+        level_epsilons = greedy_budget_allocation(usage, eps_measure)
+        measurements = measure_tree(bucket_totals, tree, level_epsilons, rng)
+        return edges, measurements
 
-        estimate = np.zeros(x.size)
-        for (lo, hi), value, width in zip(buckets, bucket_estimates, widths):
-            estimate[lo:hi] = value / width
-        return estimate
+    def measure(
+        self, x: np.ndarray, epsilon: float, rng: np.random.Generator,
+        workload: Workload | None = None,
+    ) -> tuple[MeasurementSet, np.ndarray]:
+        """Run both private stages and package the output as a cell-domain
+        :class:`MeasurementSet` (plus the private bucket edges).
+
+        The bucket-tree measurements are re-expressed over the cells through
+        :meth:`MeasurementSet.through_partition`, so they compose with any
+        other mechanism's measurements of the same data
+        (``combined_with`` + :func:`~repro.core.gls.solve_gls`).
+        ``epsilon_spent`` covers *both* stages: the edges themselves are a
+        noisy-partition release paid for by the stage-one budget.
+        """
+        if x.ndim != 1:
+            raise ValueError("measure() packages the 1-D (or flattened) stage")
+        edges, measurements = self._partition_and_measure(x, epsilon, workload, rng)
+        cell_measurements = measurements.through_partition(edges)
+        cell_measurements.epsilon_spent = epsilon
+        return cell_measurements, edges
+
+    def _run_1d(self, x: np.ndarray, epsilon: float, workload: Workload | None,
+                rng: np.random.Generator) -> np.ndarray:
+        edges, measurements = self._partition_and_measure(x, epsilon, workload, rng)
+        bucket_estimates = solve_gls(measurements)      # exact tree fast path
+        widths = np.diff(edges)
+        return np.repeat(bucket_estimates / widths, widths)

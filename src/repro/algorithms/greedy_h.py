@@ -8,8 +8,10 @@ budget.  With per-level variances ``2 / eps_l**2`` and per-level usage counts
 gives the classic cube-root allocation ``eps_l ∝ c_l^(1/3)``.
 
 GreedyH is one-dimensional; the 2-D variant flattens the grid along a Hilbert
-curve (as the paper does for DAWA/GreedyH) and allocates budget for the prefix
-workload over the flattened domain.
+curve (as the paper does for DAWA/GreedyH) and maps the 2-D workload onto the
+curve (:func:`~repro.algorithms.hilbert.flatten_workload`) so the budget
+allocation stays workload-aware; without a workload it falls back to the
+prefix workload over the flattened domain.
 """
 
 from __future__ import annotations
@@ -20,7 +22,7 @@ from ..workload.builders import prefix_workload
 from ..workload.rangequery import Workload
 from .base import Algorithm, AlgorithmProperties
 from .hier import run_hierarchical
-from .hilbert import flatten_2d, unflatten_2d
+from .hilbert import flatten_2d, flatten_matching_workload, unflatten_2d
 from .tree import HierarchicalTree
 
 __all__ = ["GreedyH", "greedy_budget_allocation"]
@@ -60,7 +62,8 @@ class GreedyH(Algorithm):
         if x.ndim == 1:
             return self._run_1d(x, epsilon, workload, rng)
         flat, ordering = flatten_2d(x)
-        estimate_flat = self._run_1d(flat, epsilon, None, rng)
+        flat_workload = flatten_matching_workload(workload, ordering, x.shape)
+        estimate_flat = self._run_1d(flat, epsilon, flat_workload, rng)
         return unflatten_2d(estimate_flat, ordering, x.shape)
 
     def _run_1d(self, x: np.ndarray, epsilon: float, workload: Workload | None,

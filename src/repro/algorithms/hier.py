@@ -34,6 +34,8 @@ def measure_tree(
     unmeasured (``nan`` value, infinite variance).  The total budget spent is
     ``sum(level_epsilons)`` because the levels partition the domain, so by
     sequential composition the result is that-much differentially private.
+    The "domain" need not be raw cells: DAWA calls this on its vector of
+    bucket totals, whose per-bucket sensitivity is likewise 1.
 
     Noise is drawn node-by-node in node-index order — the draw order is part
     of the reproducibility contract (golden values pin it).

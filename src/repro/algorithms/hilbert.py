@@ -3,15 +3,17 @@
 DAWA and GreedyH are one-dimensional algorithms; the paper runs them on 2-D
 data by flattening the grid along a Hilbert curve, which preserves locality so
 that 2-D clusters stay contiguous in the 1-D ordering.  This module provides
-the forward/backward index maps for square power-of-two grids and a
-row-major fall-back for everything else.
+the forward/backward index maps for square power-of-two grids, a row-major
+fall-back for everything else, and the workload companion
+:func:`flatten_workload` so the flattened algorithms stay workload-aware.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["hilbert_order", "flatten_2d", "unflatten_2d"]
+__all__ = ["hilbert_order", "flatten_2d", "flatten_workload",
+           "flatten_matching_workload", "unflatten_2d"]
 
 
 def _d2xy(order: int, d: int) -> tuple[int, int]:
@@ -72,6 +74,40 @@ def flatten_2d(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         raise ValueError("flatten_2d expects a 2-D array")
     ordering = _ordering_for(x.shape)
     return x.ravel()[ordering], ordering
+
+
+def flatten_workload(workload, ordering: np.ndarray, shape: tuple[int, int]):
+    """Map a 2-D range workload onto the flattened 1-D domain.
+
+    A rectangle's cells are generally not contiguous along the curve, so each
+    query is mapped to the *span* of its cells' curve positions — the tightest
+    1-D range containing the query.  Hilbert locality keeps those spans small,
+    which is all the flattened algorithms consume the workload for (budget
+    allocation over the 1-D hierarchy), exactly the substitution the paper
+    makes when running DAWA/GreedyH on 2-D data.
+    """
+    from ..workload.rangequery import RangeQuery, Workload
+
+    rows, cols = (int(d) for d in shape)
+    position = np.empty(rows * cols, dtype=np.intp)
+    position[ordering] = np.arange(rows * cols, dtype=np.intp)
+    position_2d = position.reshape(rows, cols)
+    queries = []
+    for query in workload:
+        block = position_2d[query.lo[0]: query.hi[0] + 1,
+                            query.lo[1]: query.hi[1] + 1]
+        queries.append(RangeQuery((int(block.min()),), (int(block.max()),)))
+    return Workload(queries, (rows * cols,), name=f"{workload.name}|flattened")
+
+
+def flatten_matching_workload(workload, ordering: np.ndarray, shape: tuple[int, int]):
+    """:func:`flatten_workload` when ``workload`` matches the 2-D domain,
+    ``None`` otherwise — the shared guard of the flattened algorithms' 2-D
+    entry points (a missing or mismatched workload falls back to their 1-D
+    default)."""
+    if workload is None or workload.ndim != 2 or workload.domain_shape != shape:
+        return None
+    return flatten_workload(workload, ordering, shape)
 
 
 def unflatten_2d(values: np.ndarray, ordering: np.ndarray, shape: tuple[int, int]) -> np.ndarray:

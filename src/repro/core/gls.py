@@ -10,7 +10,7 @@ not need to form a tree:
   :class:`~repro.algorithms.tree.HierarchicalTree`, the classic two-pass
   algorithm (:func:`~repro.algorithms.inference.tree_least_squares`) computes
   the exact GLS solution in O(nodes); this is the fast path used by H, Hb,
-  GreedyH and QuadTree.
+  GreedyH, QuadTree and DAWA's stage two (a tree over its private buckets).
 * ``normal`` — sparse normal equations ``(WᵀΛW) x = WᵀΛy`` with
   ``Λ = diag(1/σ²)``, factorised by SuperLU.  Fast and exact for
   well-conditioned full-column-rank measurement sets (e.g. anything that
@@ -40,8 +40,17 @@ def _solve_tree(measurements: MeasurementSet) -> np.ndarray:
     (uniform within aggregated leaves)."""
     tree = measurements.tree
     consistent = tree_least_squares(tree, measurements.values, measurements.variances)
+    leaves = tree.leaves()
+    if len(tree.domain_shape) == 1:
+        # Vectorised expansion: leaves tile the 1-D domain, so one repeat of
+        # the per-leaf averages (in domain order) fills every cell.  Matters
+        # for partition-heavy trees (DAWA buckets) with thousands of leaves.
+        leaves = sorted(leaves, key=lambda node: node.lo[0])
+        indices = np.array([node.index for node in leaves], dtype=np.intp)
+        sizes = np.array([node.size for node in leaves], dtype=np.intp)
+        return np.repeat(consistent[indices] / sizes, sizes)
     estimate = np.zeros(tree.domain_shape)
-    for node in tree.leaves():
+    for node in leaves:
         estimate[node.slices()] = consistent[node.index] / node.size
     return estimate
 

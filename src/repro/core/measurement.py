@@ -121,6 +121,28 @@ class MeasurementSet:
         return cls(queries=tree.as_query_matrix(), values=values,
                    variances=variances, epsilon_spent=epsilon_spent, tree=tree)
 
+    def through_partition(self, edges: np.ndarray) -> "MeasurementSet":
+        """Re-express bucket-domain measurements over the underlying cells.
+
+        A mechanism that measures totals of contiguous buckets (DAWA's stage
+        two) observes the same numbers whether its queries are read over the
+        bucket domain or over the cells: a bucket-range query ``[b0, b1]``
+        *is* the cell-range query ``[edges[b0], edges[b1+1] - 1]``.  The
+        returned set carries the identical values/variances over the cell
+        domain, which is what makes cross-mechanism fusion work — combine it
+        with any other mechanism's cell-domain measurements via
+        :meth:`combined_with` and solve once.  The ``tree`` tag is dropped
+        (the queries are no longer the nodes of a tree over the new domain);
+        the min-norm solver then reproduces the uniform within-bucket
+        expansion of the bucket-level solve.
+        """
+        return MeasurementSet(
+            queries=self.queries.through_partition(edges),
+            values=self.values,
+            variances=self.variances,
+            epsilon_spent=self.epsilon_spent,
+        )
+
     def combined_with(self, other: "MeasurementSet") -> "MeasurementSet":
         """Concatenate two measurement sets over the same domain.
 

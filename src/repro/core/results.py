@@ -25,15 +25,19 @@ __all__ = ["ExperimentSetting", "RunRecord", "ResultSet", "read_jsonl_entries"]
 def read_jsonl_entries(source) -> list[dict]:
     """Parse run-log lines into dicts, tolerating a torn final line.
 
-    ``source`` is a path or raw JSONL text.  An interrupted run can leave a
-    partial trailing write; complete lines are never lost to it.  A corrupt
-    line anywhere else raises.
+    ``source`` is a path or raw JSONL text.  A :class:`~pathlib.Path` is
+    always read from disk; a string is treated as raw JSONL when it is empty,
+    whitespace-only or starts with ``{`` (an empty log has no records), and
+    as a path otherwise.  An interrupted run can leave a partial trailing
+    write; complete lines are never lost to it.  A corrupt line anywhere else
+    raises.
     """
-    looks_like_text = str(source).lstrip().startswith("{") or str(source) == ""
-    if isinstance(source, Path) or not looks_like_text:
-        text = Path(source).read_text(encoding="utf8")
+    if isinstance(source, Path):
+        text = source.read_text(encoding="utf8")
     else:
         text = str(source)
+        if text.strip() and not text.lstrip().startswith("{"):
+            text = Path(text).read_text(encoding="utf8")
     entries = []
     lines = text.splitlines()
     for i, line in enumerate(lines):

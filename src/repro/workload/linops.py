@@ -211,6 +211,54 @@ class QueryMatrix:
         out[valid] = local[r1, c1] - local[r0, c1] - local[r1, c0] + local[r0, c0]
         return out
 
+    # -- partition mappings -------------------------------------------------------
+    @staticmethod
+    def _check_edges(edges: np.ndarray, n_cells: int | None = None) -> np.ndarray:
+        """Validate partition edges; ``n_cells`` pins the endpoint when the
+        cell count is known a priori (it is *defined* by ``edges[-1]`` when
+        expanding)."""
+        edges = np.asarray(edges, dtype=np.intp)
+        if edges.ndim != 1 or edges.size < 2 or edges[0] != 0 \
+                or (n_cells is not None and edges[-1] != n_cells) \
+                or np.any(np.diff(edges) <= 0):
+            raise ValueError(
+                "edges must be strictly increasing from 0 to the cell count")
+        return edges
+
+    def on_partition(self, edges: np.ndarray) -> "QueryMatrix":
+        """Coarsen 1-D cell queries onto a contiguous partition.
+
+        ``edges`` are the ``B + 1`` bucket boundaries (half-open buckets
+        ``[edges[b], edges[b+1])`` covering the domain).  Each query maps to
+        the range of buckets it intersects — the view of the workload a
+        mechanism operating on bucket totals (DAWA's stage two) sees.
+        """
+        if self.ndim != 1:
+            raise ValueError("partition mappings are 1-D only")
+        edges = self._check_edges(edges, self._domain_shape[0])
+        los = np.searchsorted(edges, self._los[:, 0], side="right") - 1
+        his = np.searchsorted(edges, self._his[:, 0], side="right") - 1
+        return QueryMatrix(los[:, None], his[:, None], (edges.size - 1,))
+
+    def through_partition(self, edges: np.ndarray) -> "QueryMatrix":
+        """Expand bucket-domain queries back onto the cells of a partition.
+
+        The inverse view of :meth:`on_partition`: a query over buckets
+        ``[b0, b1]`` becomes the cell range ``[edges[b0], edges[b1+1] - 1]``.
+        This is how bucket-level measurements are re-expressed as cell-level
+        linear queries (the bucket -> cell uniform expansion then being plain
+        post-processing of the solve).
+        """
+        if self.ndim != 1:
+            raise ValueError("partition mappings are 1-D only")
+        edges = np.asarray(edges, dtype=np.intp)
+        if edges.size != self._domain_shape[0] + 1:
+            raise ValueError("need one edge per bucket boundary")
+        edges = self._check_edges(edges)
+        los = edges[self._los[:, 0]]
+        his = edges[self._his[:, 0] + 1] - 1
+        return QueryMatrix(los[:, None], his[:, None], (int(edges[-1]),))
+
     # -- materialisation ----------------------------------------------------------
     def to_sparse(self):
         """CSR materialisation of ``W`` (cached).

@@ -160,6 +160,22 @@ class Workload:
         """Dense query matrix — intended for small domains (tests, analyses)."""
         return self.operator.to_dense()
 
+    def on_partition(self, edges: np.ndarray) -> "Workload":
+        """The workload as seen from a contiguous 1-D partition of the domain.
+
+        ``edges`` are the ``B + 1`` bucket boundaries; every query maps to the
+        inclusive range of buckets it intersects (multiplicities preserved —
+        a bucket range targeted by many queries should weigh more in budget
+        allocation).  This is the workload DAWA's stage two consults when
+        tuning GreedyH over the bucket domain.
+        """
+        bucket_queries = self.operator.on_partition(edges)
+        queries = [RangeQuery((int(lo),), (int(hi),))
+                   for lo, hi in zip(bucket_queries.los[:, 0],
+                                     bucket_queries.his[:, 0])]
+        return Workload(queries, bucket_queries.domain_shape,
+                        name=f"{self.name}|buckets[{len(edges) - 1}]")
+
     def restricted_to(self, domain_shape: tuple[int, ...]) -> "Workload":
         """Restrict the workload to a smaller (coarsened) domain.
 

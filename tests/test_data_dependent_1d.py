@@ -178,6 +178,92 @@ class TestDAWA:
         estimate = DAWA().run(x, 1.0, rng=0)
         assert estimate.shape == (16, 16)
 
+    def test_fast_partition_matches_reference_loop(self):
+        from repro.algorithms.dawa import l1_partition_reference
+
+        noisy = np.random.default_rng(8).random(257) * 40 - 5.0
+        assert l1_partition(noisy, 0.7, noise_scale=2.0) == \
+            l1_partition_reference(noisy, 0.7, noise_scale=2.0)
+
+    def test_measurement_set_currency(self, sparse_small_scale):
+        """DAWA's stage two is a MeasurementSet over the cell domain, and the
+        generic solver applied to it reproduces the release (the tree solve
+        plus uniform expansion is the min-norm solution of that system)."""
+        from repro import solve_gls
+
+        x, workload = sparse_small_scale
+        release = DAWA().run(x, 1.0, workload=workload, rng=np.random.default_rng(3))
+        mset, edges = DAWA().measure(x, 1.0, np.random.default_rng(3),
+                                     workload=workload)
+        assert mset.domain_shape == x.shape
+        assert mset.epsilon_spent == pytest.approx(1.0)   # both stages accounted
+        assert mset.tree is None
+        assert edges[0] == 0 and edges[-1] == x.size
+        reconstructed = solve_gls(mset)
+        np.testing.assert_allclose(reconstructed, release, rtol=1e-6, atol=1e-6)
+
+    def test_release_is_postprocessing_of_noisy_measurements(self):
+        """End-to-end privacy principle: the release must be a function of
+        noisy quantities only.  Run DAWA's internals on a non-count input
+        (negative entries, where the old code re-added the *true* clipped
+        bucket mass without noise) and check the release is reproducible from
+        the private partition and the noisy measurements alone."""
+        from repro import solve_gls
+
+        algorithm = DAWA()
+        x = np.array([4.0, -9.0, 3.0, -2.5, 8.0, 0.0, -1.0, 5.0] * 8)
+        release = algorithm._run_1d(x, 1.0, None, np.random.default_rng(11))
+        edges, measurements = algorithm._partition_and_measure(
+            x, 1.0, None, np.random.default_rng(11))
+        widths = np.diff(edges)
+        rebuilt = np.repeat(solve_gls(measurements) / widths, widths)
+        assert np.array_equal(rebuilt, release)
+        # the measurements are noisy answers over the *raw* (unclipped)
+        # bucket totals — stage two touches the data only through them
+        totals = np.add.reduceat(x, edges[:-1])
+        assert np.any(totals < 0)                        # clipping would bite here
+        residual = measurements.residual(totals)
+        assert residual.size > 0 and not np.allclose(residual, 0.0)
+
+    def test_budget_accounting_rejects_overspend(self):
+        from repro.algorithms.mechanisms import BudgetExceededError
+
+        x = np.abs(np.random.default_rng(0).random(32)) * 10
+        with pytest.raises((BudgetExceededError, ValueError)):
+            DAWA(rho=1.0).run(x, 1.0, rng=0)
+        with pytest.raises((BudgetExceededError, ValueError)):
+            DAWA(rho=1.5).run(x, 1.0, rng=0)
+
+    def test_2d_workload_awareness_beats_dropped_workload(self):
+        """Regression for the 2-D path passing workload=None: on a skewed
+        (point-query) workload, mapping the workload through the Hilbert
+        ordering must beat the old dropped-workload behaviour."""
+        from repro import scaled_average_per_query_error
+        from repro.workload.rangequery import RangeQuery, Workload
+
+        rng = np.random.default_rng(5)
+        x = np.zeros((16, 16))
+        x[rng.integers(0, 16, 30), rng.integers(0, 16, 30)] = \
+            rng.integers(20, 80, 30).astype(float)
+        qrng = np.random.default_rng(7)
+        queries = [RangeQuery((i, j), (i, j))
+                   for i, j in zip(qrng.integers(0, 16, 150),
+                                   qrng.integers(0, 16, 150))]
+        workload = Workload(queries, (16, 16), name="skewed-points")
+        truth = workload.evaluate(x)
+
+        def mean_error(workload_arg, trials=10):
+            errors = []
+            for t in range(trials):
+                estimate = DAWA().run(x, 0.5, workload=workload_arg, rng=100 + t)
+                errors.append(scaled_average_per_query_error(
+                    truth, workload.evaluate(estimate), x.sum()))
+            return float(np.mean(errors))
+
+        aware = mean_error(workload)
+        dropped = mean_error(None)            # the old 2-D behaviour
+        assert aware < 0.7 * dropped
+
 
 class TestPHP:
     def test_bucket_structure_bias_remains(self):

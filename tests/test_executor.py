@@ -29,6 +29,7 @@ from repro.core.executor import (
     job_seed_sequence,
     root_entropy_from,
 )
+from repro.core.results import read_jsonl_entries
 
 
 @pytest.fixture
@@ -438,3 +439,30 @@ class TestInstantiationHygiene:
         bench = self._bench({"Tuned": factory}, scales=[100, 200])
         bench.run(rng=0)
         assert (0.5, 100, 32) in calls and (0.5, 200, 32) in calls
+
+
+class TestReadJsonlDispatch:
+    """read_jsonl_entries dispatches on Path vs raw text explicitly."""
+
+    def test_empty_and_whitespace_strings_are_empty_logs(self):
+        # Previously content-sniffing sent whitespace-only raw text to
+        # Path(...).read_text and crashed with FileNotFoundError.
+        assert read_jsonl_entries("") == []
+        assert read_jsonl_entries("   \n\t\n  ") == []
+        assert len(ResultSet.from_jsonl("\n\n")) == 0
+
+    def test_path_object_always_read_from_disk(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        log.write_text('{"skipped": true}\n{"a": 1}\n', encoding="utf8")
+        entries = read_jsonl_entries(log)
+        assert entries == [{"skipped": True}, {"a": 1}]
+
+    def test_string_path_still_reads_from_disk(self, tmp_path):
+        log = tmp_path / "run.jsonl"
+        log.write_text('{"a": 2}\n', encoding="utf8")
+        assert read_jsonl_entries(str(log)) == [{"a": 2}]
+
+    def test_empty_file_on_disk(self, tmp_path):
+        log = tmp_path / "empty.jsonl"
+        log.write_text("", encoding="utf8")
+        assert read_jsonl_entries(log) == []

@@ -164,3 +164,66 @@ class TestRestrictedTo:
         workload = Workload([RangeQuery((6,), (7,))], (8,))
         with pytest.raises(ValueError, match="no query"):
             workload.restricted_to((4,))
+
+
+class TestPartitionMappings:
+    """Cell <-> bucket query mappings over a contiguous 1-D partition."""
+
+    EDGES = np.array([0, 3, 4, 9, 16])
+
+    def test_on_partition_brute_force(self):
+        workload = random_range_workload((16,), n_queries=50, rng=3)
+        coarse = workload.operator.on_partition(self.EDGES)
+        assert coarse.domain_shape == (4,)
+        cell_bucket = np.searchsorted(self.EDGES, np.arange(16), side="right") - 1
+        for q in range(len(workload)):
+            covered = cell_bucket[workload.operator.los[q, 0]:
+                                  workload.operator.his[q, 0] + 1]
+            assert coarse.los[q, 0] == covered.min()
+            assert coarse.his[q, 0] == covered.max()
+
+    def test_through_partition_expands_bucket_ranges(self):
+        buckets = QueryMatrix(np.array([[0], [1], [0]]),
+                              np.array([[1], [3], [3]]), (4,))
+        cells = buckets.through_partition(self.EDGES)
+        assert cells.domain_shape == (16,)
+        assert cells.los[:, 0].tolist() == [0, 3, 0]
+        assert cells.his[:, 0].tolist() == [3, 15, 15]
+
+    def test_roundtrip_bucket_aligned_queries(self):
+        # Bucket-aligned cell queries coarsen and expand back to themselves.
+        cells = QueryMatrix(np.array([[0], [4], [3]]),
+                            np.array([[2], [8], [15]]), (16,))
+        again = cells.on_partition(self.EDGES).through_partition(self.EDGES)
+        assert np.array_equal(again.los, cells.los)
+        assert np.array_equal(again.his, cells.his)
+
+    def test_answers_preserved_on_expansion(self):
+        # A bucket-domain query answers identically over bucket totals and,
+        # expanded, over the underlying cells.
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 20, size=16).astype(float)
+        totals = np.add.reduceat(x, self.EDGES[:-1])
+        buckets = QueryMatrix(np.array([[0], [2]]), np.array([[1], [3]]), (4,))
+        assert np.allclose(buckets.matvec(totals),
+                           buckets.through_partition(self.EDGES).matvec(x))
+
+    def test_validation(self):
+        op = QueryMatrix(np.array([[0]]), np.array([[3]]), (4,))
+        with pytest.raises(ValueError, match="strictly increasing"):
+            op.on_partition(np.array([0, 2]))            # does not reach n
+        with pytest.raises(ValueError, match="strictly increasing"):
+            op.through_partition(np.array([0, 2, 2, 4, 6]))
+        with pytest.raises(ValueError, match="one edge per bucket"):
+            op.through_partition(np.array([0, 4]))
+        op2d = QueryMatrix(np.array([[0, 0]]), np.array([[1, 1]]), (2, 2))
+        with pytest.raises(ValueError, match="1-D only"):
+            op2d.on_partition(np.array([0, 2]))
+
+    def test_workload_on_partition(self):
+        workload = prefix_workload(16)
+        coarse = workload.on_partition(self.EDGES)
+        assert coarse.domain_shape == (4,)
+        assert len(coarse) == 16                 # multiplicities preserved
+        assert coarse[0].hi == (0,)
+        assert coarse[15].hi == (3,)

@@ -250,6 +250,17 @@ class TestGoldenValues:
             golden["x2"], 0.5, workload=workload_2d, rng=43)
         assert estimate.tobytes() == golden[f"{name}_2d"].tobytes()
 
+    def test_dawa_1d_bitwise(self, golden):
+        """DAWA pinned against its pre-refactor output (default-workload
+        path: the old stage two always allocated for the bucket prefix
+        workload, which is what workload=None still does)."""
+        estimate = repro.make_algorithm("DAWA").run(golden["x1"], 0.1, rng=42)
+        assert estimate.tobytes() == golden["DAWA_1d"].tobytes()
+
+    def test_dawa_2d_bitwise(self, golden):
+        estimate = repro.make_algorithm("DAWA").run(golden["x2"], 0.5, rng=43)
+        assert estimate.tobytes() == golden["DAWA_2d"].tobytes()
+
     def test_mwem_machine_precision(self, golden, workload_1d, workload_2d):
         est_1d = repro.make_algorithm("MWEM").run(
             golden["x1"], 0.1, workload=workload_1d, rng=42)
@@ -296,3 +307,42 @@ class TestMWEMSparseLoop:
         sparse = repro.MWEM(rounds=rounds).run(x, 1.0, workload=workload,
                                                rng=np.random.default_rng(99))
         np.testing.assert_allclose(sparse, dense, rtol=1e-9, atol=1e-9)
+
+
+class TestDAWAFusion:
+    """DAWA emits the shared currency: its cell-domain measurements compose
+    with any other mechanism's via combined_with + solve_gls."""
+
+    def test_fusion_with_precise_cell_measurements(self):
+        from repro.algorithms.dawa import DAWA
+        from repro.workload import identity_workload
+
+        rng = np.random.default_rng(0)
+        x = rng.integers(0, 40, size=64).astype(float)
+        dawa_mset, _ = DAWA().measure(x, 0.5, np.random.default_rng(1))
+        precise = MeasurementSet(identity_workload((64,)).operator,
+                                 x.copy(), np.full(64, 1e-6))
+        combined = dawa_mset.combined_with(precise)
+        assert combined.epsilon_spent == pytest.approx(0.5)
+        estimate = solve_gls(combined)
+        # near-exact side measurements dominate the weighted solve
+        np.testing.assert_allclose(estimate, x, atol=1e-2)
+
+    def test_fusion_with_hierarchical_measurements(self):
+        from repro.algorithms.dawa import DAWA
+
+        rng = np.random.default_rng(2)
+        x = rng.multinomial(4000, rng.dirichlet(np.ones(64))).astype(float)
+        dawa_mset, _ = DAWA().measure(x, 0.4, np.random.default_rng(3))
+        tree = HierarchicalTree((64,), branching=2)
+        tree_mset = measure_tree(x, tree, np.full(tree.n_levels, 0.4 / tree.n_levels),
+                                 np.random.default_rng(4))
+        combined = dawa_mset.combined_with(
+            MeasurementSet(tree_mset.queries, tree_mset.values,
+                           tree_mset.variances, tree_mset.epsilon_spent))
+        assert combined.epsilon_spent == pytest.approx(0.8)
+        fused = solve_gls(combined)
+        alone = solve_gls(dawa_mset)
+        assert fused.shape == x.shape and np.all(np.isfinite(fused))
+        # pooling two independent 0.4-budget views beats either one alone
+        assert np.linalg.norm(fused - x) < np.linalg.norm(alone - x)

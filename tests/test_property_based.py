@@ -1,13 +1,13 @@
 """Property-based (hypothesis) tests for the core data structures and invariants."""
 
 import numpy as np
-from hypothesis import HealthCheck, given, settings
+from hypothesis import HealthCheck, example, given, settings
 from hypothesis import strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro import Dataset, PrefixSum, RangeQuery, Workload, scaled_average_per_query_error
 from repro.algorithms.ahp import greedy_value_clustering
-from repro.algorithms.dawa import l1_partition
+from repro.algorithms.dawa import l1_partition, l1_partition_reference
 from repro.algorithms.hilbert import flatten_2d, unflatten_2d
 from repro.algorithms.inference import tree_least_squares
 from repro.algorithms.tree import HierarchicalTree
@@ -115,6 +115,37 @@ def test_dawa_partition_is_a_partition(x, penalty):
     for (a, b), (c, d) in zip(buckets[:-1], buckets[1:]):
         assert b == c
         assert a < b <= c < d
+
+
+@SETTINGS
+@given(x=hnp.arrays(dtype=np.float64, shape=st.integers(1, 200),
+                    elements=st.floats(0, 1000, allow_nan=False)),
+       penalty=st.floats(0.01, 100),
+       noise_scale=st.floats(0, 50))
+@example(x=np.zeros(130), penalty=0.1, noise_scale=0.0)       # all exact ties
+@example(x=np.full(97, 3.7), penalty=25.0, noise_scale=5.0)   # uniform + de-bias
+@example(x=np.repeat([0.0, 500.0, 0.0], 43), penalty=1.0, noise_scale=30.0)
+def test_dawa_partition_fast_path_matches_reference(x, penalty, noise_scale):
+    """The vectorised candidate-pruning DP is bitwise-identical to the
+    reference double loop — including tie-heavy inputs where the noise
+    de-biasing clamps bucket SSEs to exactly zero."""
+    assert l1_partition(x, penalty, noise_scale=noise_scale) == \
+        l1_partition_reference(x, penalty, noise_scale=noise_scale)
+
+
+@SETTINGS
+@given(x=hnp.arrays(dtype=np.float64, shape=st.integers(1, 120),
+                    elements=st.floats(0, 200, allow_nan=False)),
+       penalty=st.floats(0.05, 20), seed=st.integers(0, 2 ** 16))
+def test_dawa_partition_fast_path_matches_reference_noisy(x, penalty, seed):
+    """Equivalence on DAWA's actual stage-one inputs: counts plus Laplace
+    noise of the declared scale (noisy values go negative, de-biasing is
+    active)."""
+    rng = np.random.default_rng(seed)
+    scale = penalty * 2.0
+    noisy = x + rng.laplace(0, scale, x.size)
+    assert l1_partition(noisy, penalty, noise_scale=scale) == \
+        l1_partition_reference(noisy, penalty, noise_scale=scale)
 
 
 @SETTINGS

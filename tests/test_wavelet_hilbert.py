@@ -104,3 +104,32 @@ class TestHilbert:
     def test_flatten_rejects_1d(self):
         with pytest.raises(ValueError):
             flatten_2d(np.zeros(8))
+
+
+class TestFlattenWorkload:
+    def test_spans_cover_query_cells(self):
+        from repro.algorithms.hilbert import flatten_workload
+        from repro.workload import random_range_workload
+
+        x = np.arange(64, dtype=float).reshape(8, 8)
+        _, ordering = flatten_2d(x)
+        position = np.empty(64, dtype=int)
+        position[ordering] = np.arange(64)
+        workload = random_range_workload((8, 8), n_queries=40, rng=2)
+        flat = flatten_workload(workload, ordering, (8, 8))
+        assert flat.domain_shape == (64,)
+        assert len(flat) == len(workload)
+        for q2d, q1d in zip(workload, flat):
+            block = position.reshape(8, 8)[q2d.lo[0]:q2d.hi[0] + 1,
+                                           q2d.lo[1]:q2d.hi[1] + 1]
+            # the mapped span is the tightest range containing the cells
+            assert q1d.lo[0] == block.min() and q1d.hi[0] == block.max()
+
+    def test_full_domain_query_maps_to_full_range(self):
+        from repro.algorithms.hilbert import flatten_workload
+        from repro.workload import RangeQuery, Workload
+
+        workload = Workload([RangeQuery((0, 0), (7, 7))], (8, 8))
+        _, ordering = flatten_2d(np.zeros((8, 8)))
+        flat = flatten_workload(workload, ordering, (8, 8))
+        assert flat[0].lo == (0,) and flat[0].hi == (63,)
