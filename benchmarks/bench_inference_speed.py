@@ -1,4 +1,5 @@
-"""Micro-benchmark: dense vs sparse measurement/inference paths.
+"""Micro-benchmark: dense vs sparse measurement/inference paths, plus the
+workload-aware selection quality gate.
 
 Two hot paths were rebased onto the sparse :class:`repro.QueryMatrix`
 operator in the measurement/inference refactor:
@@ -16,6 +17,10 @@ operator in the measurement/inference refactor:
   loop (the cross-validated reference) versus the vectorised
   candidate-pruning path, on the input DAWA actually feeds it: noisy counts
   with a known Laplace scale.
+
+The selection-quality bench exercises the plan pipeline's new seam: GreedyW's
+greedy workload-aware measurement selection must beat Identity (and GreedyH)
+on a skewed point-heavy workload at fixed epsilon.
 
 Run with ``python -m pytest benchmarks/bench_inference_speed.py -q``.
 ``DPBENCH_SMOKE=1`` shrinks round counts and the dense-solve domain so the
@@ -228,3 +233,67 @@ def test_dawa_partition_speed(benchmark):
            format_table(rows, floatfmt="{:.4f}"))
     assert speedup >= 5.0, \
         f"vectorised L1 partition only {speedup:.1f}x over the reference loop"
+
+
+SELECTION_DOMAIN = 1024
+SELECTION_TRIALS = 4 if SMOKE else 10
+
+
+def test_greedyw_selection_quality(benchmark):
+    """GreedyW's workload-aware selection on a skewed workload.
+
+    The workload is point-query heavy (2000 point queries) with a tail of
+    300 medium random ranges — the regime where GreedyH's always-measure-
+    every-level hierarchy misallocates budget.  GreedyW must achieve lower
+    scaled workload error than both Identity and GreedyH at fixed epsilon;
+    the margins are averaged over fixed-seed trials, so the gate is
+    deterministic.
+    """
+    from repro import make_algorithm, scaled_average_per_query_error
+    from repro.workload.rangequery import RangeQuery, Workload
+
+    def study():
+        n = SELECTION_DOMAIN
+        wrng = np.random.default_rng(20160626)
+        queries = [RangeQuery((int(i),), (int(i),))
+                   for i in wrng.integers(0, n, 2000)]
+        for _ in range(300):
+            length = int(wrng.integers(100, 400))
+            lo = int(wrng.integers(0, n - length))
+            queries.append(RangeQuery((lo,), (lo + length - 1,)))
+        workload = Workload(queries, (n,), name="skewed-points+ranges")
+
+        drng = np.random.default_rng(7)
+        scale = 100_000
+        x = drng.multinomial(scale, drng.dirichlet(np.ones(n))).astype(float)
+        truth = workload.evaluate(x)
+
+        epsilon = 0.1
+        rows = []
+        errors = {}
+        for name in ("Identity", "GreedyH", "GreedyW"):
+            algorithm = make_algorithm(name)
+            trial_errors = [
+                scaled_average_per_query_error(
+                    truth,
+                    workload.evaluate(algorithm.run(
+                        x, epsilon, workload=workload, rng=5000 + t)),
+                    scale)
+                for t in range(SELECTION_TRIALS)
+            ]
+            errors[name] = float(np.mean(trial_errors))
+            rows.append({"algorithm": name, "scaled_error": errors[name]})
+        for row in rows:
+            row["vs_greedyw"] = row["scaled_error"] / errors["GreedyW"]
+        return rows, (errors["Identity"] / errors["GreedyW"],
+                      errors["GreedyH"] / errors["GreedyW"])
+
+    rows, (vs_identity, vs_greedyh) = run_once(benchmark, study)
+    report("bench_selection_quality",
+           f"Workload-aware selection quality (domain {SELECTION_DOMAIN}, "
+           f"skewed workload, eps=0.1, {SELECTION_TRIALS} trials)",
+           format_table(rows, floatfmt="{:.4e}"))
+    assert vs_identity > 1.05, \
+        f"GreedyW only {vs_identity:.2f}x better than Identity on the skewed workload"
+    assert vs_greedyh > 1.2, \
+        f"GreedyW only {vs_greedyh:.2f}x better than GreedyH on the skewed workload"

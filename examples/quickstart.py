@@ -138,6 +138,54 @@ def main() -> None:
     print(f"fused DAWA+tree release (eps={fused.epsilon_spent:.2f}) error: "
           f"{repro.scaled_average_per_query_error(true_answers, workload.evaluate(fused_estimate), dataset.scale):.3e}")
 
+    # 8. Writing your own algorithm is now a ~30-line selection strategy.
+    #    Every algorithm is the same three-stage plan pipeline — select the
+    #    queries, measure them with the shared noise stage, reconstruct by
+    #    GLS — so a new idea only has to say *what to measure*.  Subclass
+    #    PlanAlgorithm and implement select(); run() is inherited:
+    #
+    #      select  -> a MeasurementPlan: which queries, which budget shares
+    #      measure -> repro.core.plan.measure_plan adds calibrated Laplace
+    #                 noise, metered through a PrivacyBudget (overdraw raises)
+    #      infer   -> repro.core.plan.reconstruct solves the sparse GLS and
+    #                 undoes the plan's structure (partitions, orderings)
+    #
+    #    Here is a complete strategy: measure the root total plus every cell,
+    #    splitting the budget 10/90 (a two-level hierarchy):
+    from repro.core.plan import MeasurementPlan
+
+    class RootAndCells(repro.PlanAlgorithm):
+        properties = repro.AlgorithmProperties(
+            name="RootAndCells", supported_dims=(1,), data_dependent=False,
+            hierarchical=True, reference="quickstart section 8")
+
+        def select(self, data, target_workload, budget, rng):
+            n = data.size
+            los = np.concatenate([[0], np.arange(n)])[:, None]
+            his = np.concatenate([[n - 1], np.arange(n)])[:, None]
+            # cells are disjoint (parallel composition), the root rides on
+            # top: 0.1 eps for the root + 0.9 eps at every cell.
+            shares = np.concatenate([[0.1 * budget.total],
+                                     np.full(n, 0.9 * budget.total)])
+            return MeasurementPlan(
+                queries=repro.QueryMatrix(los, his, data.shape),
+                epsilons=shares, domain_shape=data.shape,
+                epsilon_measure=budget.total)
+
+    custom = RootAndCells().run(dataset.counts, epsilon, rng=3)
+    error = repro.scaled_average_per_query_error(
+        true_answers, workload.evaluate(custom), dataset.scale)
+    print(f"\ncustom RootAndCells strategy error: {error:.3e}")
+
+    #    Workload-aware selection is the same seam: GreedyW scores candidate
+    #    hierarchies against the target workload (matrix-mechanism style,
+    #    all sparse) and measures only the levels that earn their budget.
+    greedy_w = repro.make_algorithm("GreedyW").run(
+        dataset.counts, epsilon, workload=workload, rng=4)
+    error_w = repro.scaled_average_per_query_error(
+        true_answers, workload.evaluate(greedy_w), dataset.scale)
+    print(f"GreedyW (workload-aware selection) error: {error_w:.3e}")
+
 
 def _noisy_tree_measurements(x, tree, epsilon):
     """Hand-rolled node measurements for the quickstart's section 6."""

@@ -76,6 +76,7 @@ from .algorithms import (
     DPCube,
     EFPA,
     GreedyH,
+    GreedyW,
     HierarchicalH,
     HierarchicalHb,
     HybridTree,
@@ -83,6 +84,7 @@ from .algorithms import (
     MWEM,
     MWEMStar,
     PHP,
+    PlanAlgorithm,
     PrivacyBudget,
     Privelet,
     QuadTree,
@@ -118,10 +120,12 @@ __version__ = "1.0.0"
 __all__ = [
     "__version__",
     # algorithms
-    "Algorithm", "AlgorithmProperties", "PrivacyBudget", "BudgetExceededError",
+    "Algorithm", "AlgorithmProperties", "PlanAlgorithm", "PrivacyBudget",
+    "BudgetExceededError",
     "Identity", "Uniform", "Privelet", "HierarchicalH", "HierarchicalHb",
-    "GreedyH", "MWEM", "MWEMStar", "AHP", "AHPStar", "DPCube", "DAWA", "PHP",
-    "EFPA", "StructureFirst", "QuadTree", "HybridTree", "UGrid", "AGrid",
+    "GreedyH", "GreedyW", "MWEM", "MWEMStar", "AHP", "AHPStar", "DPCube",
+    "DAWA", "PHP", "EFPA", "StructureFirst", "QuadTree", "HybridTree",
+    "UGrid", "AGrid",
     # data
     "Dataset", "Attribute", "Relation", "histogram", "synthesize_relation",
     "load_dataset", "all_datasets", "dataset_names", "dataset_overview",

@@ -5,7 +5,7 @@ wavelets, Hilbert curves, inference) and all algorithms from Table 1 of the
 paper plus the HybridTree extra.
 """
 
-from .base import Algorithm, AlgorithmProperties
+from .base import Algorithm, AlgorithmProperties, PlanAlgorithm
 from .mechanisms import (
     BudgetExceededError,
     PrivacyBudget,
@@ -20,6 +20,7 @@ from .uniform import Uniform
 from .privelet import Privelet
 from .hier import HierarchicalH, HierarchicalHb
 from .greedy_h import GreedyH
+from .greedy_w import GreedyW
 from .mwem import MWEM, MWEMStar
 from .ahp import AHP, AHPStar
 from .dawa import DAWA
@@ -33,6 +34,7 @@ from .grids import AGrid, UGrid
 __all__ = [
     "Algorithm",
     "AlgorithmProperties",
+    "PlanAlgorithm",
     "PrivacyBudget",
     "BudgetExceededError",
     "as_rng",
@@ -46,6 +48,7 @@ __all__ = [
     "HierarchicalH",
     "HierarchicalHb",
     "GreedyH",
+    "GreedyW",
     "MWEM",
     "MWEMStar",
     "AHP",

@@ -13,9 +13,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.plan import MeasurementPlan
+from ..workload.linops import QueryMatrix
 from ..workload.rangequery import Workload
-from .base import Algorithm, AlgorithmProperties
-from .mechanisms import PrivacyBudget, laplace_noise
+from .base import AlgorithmProperties, PlanAlgorithm
+from .mechanisms import BudgetExceededError, PrivacyBudget, laplace_noise
 
 __all__ = ["AHP", "AHPStar", "greedy_value_clustering"]
 
@@ -47,8 +49,16 @@ def greedy_value_clustering(sorted_values: np.ndarray, tolerance: float) -> list
     return [np.asarray(c, dtype=np.intp) for c in clusters]
 
 
-class AHP(Algorithm):
-    """AHP with fixed parameters ``rho`` (budget split) and ``eta`` (threshold)."""
+class AHP(PlanAlgorithm):
+    """AHP with fixed parameters ``rho`` (budget split) and ``eta`` (threshold).
+
+    On the plan pipeline, AHP's clustering is a pure selection stage: the
+    noisy sort order becomes the plan's cell ``ordering`` and the greedy
+    value clusters — contiguous runs of the sorted cells — become its
+    ``partition``, so the noise stage measures one total per cluster and the
+    generic reconstruction (exact disjoint solve + uniform bucket expansion +
+    ordering inversion) reproduces the historical per-cluster spread.
+    """
 
     properties = AlgorithmProperties(
         name="AHP",
@@ -60,15 +70,18 @@ class AHP(Algorithm):
         reference="Zhang, Chen, Xu, Meng, Xie. ICDM 2014",
     )
 
-    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
-             rng: np.random.Generator) -> np.ndarray:
+    def select(self, x: np.ndarray, workload: Workload | None,
+               budget: PrivacyBudget, rng: np.random.Generator) -> MeasurementPlan:
         rho = float(self.params["rho"])
         eta = float(self.params["eta"])
         if not 0 < rho < 1:
             raise ValueError(f"rho must be in (0, 1), got {rho}")
-        budget = PrivacyBudget(epsilon)
-        eps_cluster = budget.spend(epsilon * rho, "clustering")
-        eps_counts = budget.spend_all("cluster-counts")
+        eps_cluster = budget.spend(budget.total * rho, "clustering")
+        eps_counts = budget.remaining
+        if eps_counts <= 0:
+            raise BudgetExceededError(
+                "clustering consumed the whole budget; nothing left for the "
+                "cluster counts")
 
         flat = x.ravel()
         n = flat.size
@@ -80,12 +93,20 @@ class AHP(Algorithm):
         sorted_values = noisy[order]
         clusters = greedy_value_clustering(sorted_values, tolerance=cutoff)
 
-        estimate = np.zeros(n)
-        for cluster in clusters:
-            cells = order[cluster]
-            noisy_total = flat[cells].sum() + float(laplace_noise(1.0 / eps_counts, (), rng))
-            estimate[cells] = noisy_total / cells.size
-        return estimate.reshape(x.shape)
+        # Clusters are contiguous runs of the sorted cells: the sort order is
+        # the plan's ordering and the run boundaries its partition.
+        edges = np.zeros(len(clusters) + 1, dtype=np.intp)
+        np.cumsum([len(c) for c in clusters], out=edges[1:])
+        buckets = np.arange(len(clusters), dtype=np.intp)[:, None]
+        return MeasurementPlan(
+            queries=QueryMatrix(buckets, buckets, (len(clusters),)),
+            epsilons=np.full(len(clusters), eps_counts),
+            domain_shape=x.shape,
+            ordering=order,
+            partition=edges,
+            epsilon_selection=eps_cluster,
+            epsilon_measure=eps_counts,       # clusters are disjoint
+        )
 
 
 class AHPStar(AHP):

@@ -17,10 +17,12 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..core.measurement import MeasurementSet
+from ..core.plan import MeasurementPlan, measure_plan, reconstruct
 from ..workload.rangequery import Workload
-from .mechanisms import as_rng
+from .mechanisms import PrivacyBudget, as_rng
 
-__all__ = ["Algorithm", "AlgorithmProperties", "validate_input"]
+__all__ = ["Algorithm", "AlgorithmProperties", "PlanAlgorithm", "validate_input"]
 
 
 @dataclass(frozen=True)
@@ -60,8 +62,11 @@ def validate_input(x: np.ndarray, epsilon: float, supported_dims: tuple[int, ...
     """Validate and normalise an input count array.
 
     Returns a float copy of ``x``; raises ``ValueError`` on negative counts,
-    unsupported dimensionality, or a non-positive epsilon.
+    unsupported dimensionality, or a non-positive epsilon.  The input is
+    copied exactly once: when ``asarray`` already had to convert (non-float
+    dtype, nested lists) its result is a fresh array and is returned as-is.
     """
+    original = x
     x = np.asarray(x, dtype=float)
     if x.ndim not in supported_dims:
         raise ValueError(
@@ -75,7 +80,9 @@ def validate_input(x: np.ndarray, epsilon: float, supported_dims: tuple[int, ...
         raise ValueError("input counts must be finite")
     if epsilon <= 0:
         raise ValueError(f"epsilon must be positive, got {epsilon}")
-    return x.copy()
+    if isinstance(original, np.ndarray) and np.shares_memory(x, original):
+        x = x.copy()
+    return x
 
 
 class Algorithm(ABC):
@@ -157,3 +164,67 @@ class Algorithm(ABC):
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"{type(self).__name__}({self.params})"
+
+
+class PlanAlgorithm(Algorithm):
+    """An algorithm expressed as the explicit three-stage plan pipeline.
+
+    Subclasses implement :meth:`select` (the
+    :class:`~repro.core.plan.SelectionStrategy` stage) and optionally override
+    :meth:`infer`; ``_run`` is the fixed template
+
+        ``plan = select(); measurements = measure(plan); return infer(...)``
+
+    with the shared noise stage (:func:`~repro.core.plan.measure_plan`)
+    metered through a :class:`~repro.algorithms.mechanisms.PrivacyBudget`:
+    whatever the selection stage spent, the measurement stage can only charge
+    the remainder, and over-subscription raises ``BudgetExceededError``.
+
+    The default :meth:`infer` is the generic sparse GLS reconstruction
+    (:func:`~repro.core.plan.reconstruct`); overrides exist only as exact
+    closed forms of that solve (DPCube, SF) or documented non-GLS
+    post-processing (Uniform's clamp, MWEM's multiplicative weights).
+    """
+
+    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
+             rng: np.random.Generator) -> np.ndarray:
+        budget = PrivacyBudget(epsilon)
+        plan = self.select(x, workload, budget, rng)
+        measurements = measure_plan(x, plan, rng, budget=budget)
+        return self.infer(measurements, plan)
+
+    @abstractmethod
+    def select(self, x: np.ndarray, workload: Workload | None,
+               budget: PrivacyBudget,
+               rng: np.random.Generator) -> MeasurementPlan:
+        """Choose the queries to measure (and their budget shares).
+
+        Data-dependent choices must be paid for by charging ``budget``;
+        values already measured during selection ride along as the plan's
+        pre-measured rows.
+        """
+
+    def infer(self, measurements: MeasurementSet,
+              plan: MeasurementPlan) -> np.ndarray:
+        """Reconstruct cell estimates from the noisy measurements alone."""
+        return reconstruct(plan, measurements)
+
+    def plan_and_measure(
+        self,
+        x: np.ndarray,
+        epsilon: float,
+        rng: np.random.Generator | int | None = None,
+        workload: Workload | None = None,
+    ) -> tuple[MeasurementPlan, MeasurementSet]:
+        """Run the private stages only: the plan and its noisy measurements.
+
+        Consumes exactly the same generator stream as :meth:`run`, so
+        ``infer(measurements, plan)`` reproduces the release bit-for-bit —
+        the end-to-end privacy principle the registry-wide post-processing
+        test asserts.  ``measurements.epsilon_spent`` covers both stages.
+        """
+        x = validate_input(x, epsilon, self.properties.supported_dims)
+        rng = as_rng(rng)
+        budget = PrivacyBudget(float(epsilon))
+        plan = self.select(x, workload, budget, rng)
+        return plan, measure_plan(x, plan, rng, budget=budget)

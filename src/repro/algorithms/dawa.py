@@ -37,15 +37,15 @@ from __future__ import annotations
 
 import numpy as np
 
-from ..core.gls import solve_gls
 from ..core.measurement import MeasurementSet
+from ..core.plan import MeasurementPlan, measure_plan
 from ..workload.builders import prefix_workload
 from ..workload.rangequery import Workload
-from .base import Algorithm, AlgorithmProperties
+from .base import AlgorithmProperties, PlanAlgorithm
 from .greedy_h import greedy_budget_allocation
-from .hier import measure_tree
-from .hilbert import flatten_2d, flatten_matching_workload, unflatten_2d
-from .mechanisms import PrivacyBudget, laplace_noise
+from .hier import tree_plan
+from .hilbert import plan_flattening
+from .mechanisms import BudgetExceededError, PrivacyBudget, laplace_noise
 from .tree import HierarchicalTree
 
 __all__ = ["DAWA", "l1_partition", "l1_partition_reference"]
@@ -217,8 +217,19 @@ def l1_partition(noisy: np.ndarray, bucket_penalty: float,
     return _backtrack(choice, n)
 
 
-class DAWA(Algorithm):
-    """Two-stage data- and workload-aware mechanism."""
+class DAWA(PlanAlgorithm):
+    """Two-stage data- and workload-aware mechanism.
+
+    On the plan pipeline both stages fall out naturally: :meth:`select` is
+    stage one plus GreedyH's budget allocation (a data-dependent selection
+    that pays ``rho * epsilon`` for the private partition and emits the
+    bucket-tree plan), the shared noise stage measures the *raw* bucket
+    totals — every released quantity is true-value-plus-noise, so the whole
+    mechanism is post-processing of noisy measurements (no data-dependent
+    correction ever touches the release; see the end-to-end privacy tests) —
+    and reconstruction is the generic tree solve followed by the plan's
+    uniform bucket expansion (and Hilbert-ordering inversion in 2-D).
+    """
 
     properties = AlgorithmProperties(
         name="DAWA",
@@ -231,54 +242,41 @@ class DAWA(Algorithm):
         reference="Li, Hay, Miklau. PVLDB 2014",
     )
 
-    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
-             rng: np.random.Generator) -> np.ndarray:
-        if x.ndim == 1:
-            return self._run_1d(x, epsilon, workload, rng)
-        flat, ordering = flatten_2d(x)
-        flat_workload = flatten_matching_workload(workload, ordering, x.shape)
-        estimate = self._run_1d(flat, epsilon, flat_workload, rng)
-        return unflatten_2d(estimate, ordering, x.shape)
+    def select(self, x: np.ndarray, workload: Workload | None,
+               budget: PrivacyBudget, rng: np.random.Generator) -> MeasurementPlan:
+        ordering, _, workload = plan_flattening(x, workload)
+        vector = x if ordering is None else x.ravel()[ordering]
 
-    def _partition_and_measure(
-        self, x: np.ndarray, epsilon: float, workload: Workload | None,
-        rng: np.random.Generator,
-    ) -> tuple[np.ndarray, MeasurementSet]:
-        """Both private stages: the bucket edges and the stage-two
-        :class:`MeasurementSet` over the bucket domain (tree-tagged).
-
-        Stage two measures the *raw* bucket totals — every released quantity
-        is true-value-plus-noise, so the whole mechanism is post-processing
-        of noisy measurements (no data-dependent correction ever touches the
-        release; see the end-to-end privacy tests).
-        """
         rho = float(self.params["rho"])
-        budget = PrivacyBudget(epsilon)
-        eps_partition = budget.spend(epsilon * rho, "partition")
-        eps_measure = budget.spend_all("bucket-measurement")
+        eps_partition = budget.spend(budget.total * rho, "partition")
+        eps_measure = budget.remaining
+        if eps_measure <= 0:
+            raise BudgetExceededError(
+                "partition stage consumed the whole budget; nothing left "
+                "for the bucket measurements")
 
-        noisy = x + laplace_noise(1.0 / eps_partition, x.size, rng)
+        noisy = vector + laplace_noise(1.0 / eps_partition, vector.size, rng)
         buckets = l1_partition(noisy, bucket_penalty=1.0 / eps_measure,
                                noise_scale=1.0 / eps_partition)
         edges = np.fromiter((lo for lo, _ in buckets), dtype=np.intp,
                             count=len(buckets))
-        edges = np.append(edges, x.size)
+        edges = np.append(edges, vector.size)
 
-        bucket_totals = np.array([x[lo:hi].sum() for lo, hi in buckets])
-
-        # Stage two: GreedyH over the bucket domain — a hierarchy whose
-        # per-level budgets follow the workload mapped onto the buckets.
+        # Stage two's selection: GreedyH over the bucket domain — a hierarchy
+        # whose per-level budgets follow the workload mapped onto the buckets.
         tree = HierarchicalTree((len(buckets),),
                                 branching=int(self.params["branching"]))
         if workload is not None and workload.ndim == 1 \
-                and workload.domain_shape == x.shape:
+                and workload.domain_shape == vector.shape:
             bucket_workload = workload.on_partition(edges)
         else:
             bucket_workload = prefix_workload(len(buckets))
         usage = tree.level_usage(bucket_workload)
         level_epsilons = greedy_budget_allocation(usage, eps_measure)
-        measurements = measure_tree(bucket_totals, tree, level_epsilons, rng)
-        return edges, measurements
+        plan = tree_plan(tree, level_epsilons, domain_shape=x.shape,
+                         ordering=ordering, partition=edges)
+        plan.epsilon_selection = eps_partition
+        return plan
 
     def measure(
         self, x: np.ndarray, epsilon: float, rng: np.random.Generator,
@@ -296,14 +294,9 @@ class DAWA(Algorithm):
         """
         if x.ndim != 1:
             raise ValueError("measure() packages the 1-D (or flattened) stage")
-        edges, measurements = self._partition_and_measure(x, epsilon, workload, rng)
-        cell_measurements = measurements.through_partition(edges)
+        budget = PrivacyBudget(epsilon)
+        plan = self.select(x, workload, budget, rng)
+        measurements = measure_plan(x, plan, rng, budget=budget)
+        cell_measurements = measurements.through_partition(plan.partition)
         cell_measurements.epsilon_spent = epsilon
-        return cell_measurements, edges
-
-    def _run_1d(self, x: np.ndarray, epsilon: float, workload: Workload | None,
-                rng: np.random.Generator) -> np.ndarray:
-        edges, measurements = self._partition_and_measure(x, epsilon, workload, rng)
-        bucket_estimates = solve_gls(measurements)      # exact tree fast path
-        widths = np.diff(edges)
-        return np.repeat(bucket_estimates / widths, widths)
+        return cell_measurements, plan.partition

@@ -9,6 +9,13 @@ measurements: within each partition the cell-level noisy counts are shifted
 uniformly so that they sum to the inverse-variance combination of the two
 partition totals.  Because the cell-level measurements survive into the final
 estimate, DPCube is consistent.
+
+On the plan pipeline the phase-1 noisy cells are *both* a selection input and
+measurements: :meth:`DPCube.select` pays ``rho * epsilon`` for them, derives
+the kd partition from them, and emits them as the plan's pre-measured rows;
+the shared noise stage then measures only the fresh partition totals, and
+inference is the closed-form reconciliation (the exact GLS solution of the
+cells-plus-partitions system, as pinned by the solver cross-checks).
 """
 
 from __future__ import annotations
@@ -18,11 +25,13 @@ import heapq
 import numpy as np
 
 from ..core.measurement import MeasurementSet
+from ..core.plan import MeasurementPlan, measure_plan
 from ..workload.linops import QueryMatrix
 from ..workload.rangequery import Workload
-from .base import Algorithm, AlgorithmProperties
-from .mechanisms import PrivacyBudget, laplace_noise
+from .base import AlgorithmProperties, PlanAlgorithm
+from .identity import identity_queries
 from .inference import inverse_variance_combine
+from .mechanisms import BudgetExceededError, PrivacyBudget, laplace_noise
 
 __all__ = ["DPCube"]
 
@@ -33,7 +42,7 @@ def _blocks_to_bounds(blocks: list[tuple[slice, ...]]) -> tuple[np.ndarray, np.n
     return los, his
 
 
-class DPCube(Algorithm):
+class DPCube(PlanAlgorithm):
     """Two-phase kd-tree partitioning with cell/partition reconciliation."""
 
     properties = AlgorithmProperties(
@@ -46,30 +55,58 @@ class DPCube(Algorithm):
         reference="Xiao, Xiong, Fan, Goryczka, Li. TDP 2014",
     )
 
-    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
-             rng: np.random.Generator) -> np.ndarray:
-        noisy_cells, blocks, fresh_totals, eps_cells, eps_partitions = \
-            self._measure_raw(x, epsilon, rng)
-        return self._reconcile(noisy_cells, blocks, fresh_totals,
-                               2.0 / eps_cells ** 2, 2.0 / eps_partitions ** 2)
-
-    def _measure_raw(self, x: np.ndarray, epsilon: float, rng: np.random.Generator):
-        """Both measurement phases: phase-1 noisy cells, then one fresh total
-        per kd partition (in partition order — the noise-draw order is part
-        of the reproducibility contract)."""
+    def select(self, x: np.ndarray, workload: Workload | None,
+               budget: PrivacyBudget, rng: np.random.Generator) -> MeasurementPlan:
         rho = float(self.params["rho"])
         n_partitions = int(self.params["n_partitions"])
-        budget = PrivacyBudget(epsilon)
-        eps_cells = budget.spend(epsilon * rho, "cell-counts")
-        eps_partitions = budget.spend_all("partition-counts")
+        eps_cells = budget.spend(budget.total * rho, "cell-counts")
+        eps_partitions = budget.remaining
+        if eps_partitions <= 0:
+            raise BudgetExceededError(
+                "phase one consumed the whole budget; nothing left for the "
+                "partition totals")
 
         noisy_cells = x + laplace_noise(1.0 / eps_cells, x.shape, rng)
         blocks = self._kd_partition(noisy_cells, n_partitions)
-        fresh_totals = np.array([
-            x[slices].sum() + float(laplace_noise(1.0 / eps_partitions, (), rng))
-            for slices in blocks
+        block_los, block_his = _blocks_to_bounds(blocks)
+        cells = identity_queries(x.shape)
+        queries = QueryMatrix(
+            np.concatenate([cells.los, block_los]),
+            np.concatenate([cells.his, block_his]),
+            x.shape,
+        )
+        # Phase-1 cells ride along as pre-measured rows (paid for above);
+        # the noise stage measures one fresh total per kd block, in block
+        # order — the historical noise-draw order.
+        values = np.concatenate([noisy_cells.ravel(), np.full(len(blocks), np.nan)])
+        variances = np.concatenate([
+            np.full(x.size, 2.0 / eps_cells ** 2),
+            np.full(len(blocks), np.inf),
         ])
-        return noisy_cells, blocks, fresh_totals, eps_cells, eps_partitions
+        epsilons = np.concatenate([
+            np.zeros(x.size), np.full(len(blocks), eps_partitions)])
+        return MeasurementPlan(
+            queries=queries,
+            epsilons=epsilons,
+            domain_shape=x.shape,
+            values=values,
+            variances=variances,
+            epsilon_selection=eps_cells,
+            epsilon_measure=eps_partitions,    # kd blocks are disjoint
+            extras={"blocks": blocks,
+                    "cell_variance": 2.0 / eps_cells ** 2,
+                    "partition_variance": 2.0 / eps_partitions ** 2},
+        )
+
+    def infer(self, measurements: MeasurementSet,
+              plan: MeasurementPlan) -> np.ndarray:
+        blocks = plan.extras["blocks"]
+        n_cells = int(np.prod(plan.domain_shape))
+        noisy_cells = measurements.values[:n_cells].reshape(plan.domain_shape)
+        fresh_totals = measurements.values[n_cells:]
+        return self._reconcile(noisy_cells, blocks, fresh_totals,
+                               plan.extras["cell_variance"],
+                               plan.extras["partition_variance"])
 
     def measure(
         self, x: np.ndarray, epsilon: float, rng: np.random.Generator,
@@ -78,28 +115,14 @@ class DPCube(Algorithm):
         per cell (phase 1) plus one total per kd partition (phase 2).
 
         Also returns the phase-1 noisy cells and the partition blocks, which
-        the closed-form reconciliation fast path consumes directly.  ``_run``
-        skips this packaging (the closed form never touches the queries), so
-        the operator is only built when a consumer actually wants the
-        measurement currency.
+        the closed-form reconciliation fast path consumes directly.
         """
-        noisy_cells, blocks, fresh_totals, eps_cells, eps_partitions = \
-            self._measure_raw(x, epsilon, rng)
-        cell_indices = np.indices(x.shape).reshape(x.ndim, -1).T.astype(np.intp)
-        block_los, block_his = _blocks_to_bounds(blocks)
-        queries = QueryMatrix(
-            np.concatenate([cell_indices, block_los]),
-            np.concatenate([cell_indices, block_his]),
-            x.shape,
-        )
-        values = np.concatenate([noisy_cells.ravel(), fresh_totals])
-        variances = np.concatenate([
-            np.full(x.size, 2.0 / eps_cells ** 2),
-            np.full(len(blocks), 2.0 / eps_partitions ** 2),
-        ])
-        measurements = MeasurementSet(queries, values, variances,
-                                      epsilon_spent=epsilon)
-        return measurements, noisy_cells, blocks
+        budget = PrivacyBudget(epsilon)
+        plan = self.select(x, None, budget, rng)
+        measurements = measure_plan(x, plan, rng, budget=budget)
+        n_cells = int(np.prod(x.shape))
+        noisy_cells = measurements.values[:n_cells].reshape(x.shape)
+        return measurements, noisy_cells, plan.extras["blocks"]
 
     @staticmethod
     def _reconcile(noisy_cells: np.ndarray, blocks: list[tuple[slice, ...]],

@@ -11,6 +11,11 @@ keeps the noise calibration elementary.  Half the budget selects ``k`` and
 half perturbs the coefficients, as in the original algorithm.  As epsilon
 grows the noise term of the score vanishes, ``k = n`` wins the selection and
 the output converges to the true data — EFPA is consistent (Theorem 2).
+
+EFPA is deliberately *not* on the plan pipeline: it measures real-valued DCT
+coefficients, not axis-aligned range counts, so its operator is outside the
+0/1 :class:`~repro.workload.linops.QueryMatrix` currency of the shared noise
+stage.
 """
 
 from __future__ import annotations

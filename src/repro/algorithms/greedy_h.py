@@ -7,9 +7,11 @@ budget.  With per-level variances ``2 / eps_l**2`` and per-level usage counts
 ``c_l``, minimising ``sum_l c_l / eps_l**2`` subject to ``sum_l eps_l = eps``
 gives the classic cube-root allocation ``eps_l ∝ c_l^(1/3)``.
 
-GreedyH is one-dimensional; the 2-D variant flattens the grid along a Hilbert
-curve (as the paper does for DAWA/GreedyH) and maps the 2-D workload onto the
-curve (:func:`~repro.algorithms.hilbert.flatten_workload`) so the budget
+On the plan pipeline, GreedyH *is* its selection stage: a hierarchy plan with
+workload-tuned level shares.  GreedyH is one-dimensional; the 2-D variant
+flattens the grid along a Hilbert curve (as the paper does for DAWA/GreedyH)
+by attaching the curve ordering to the plan and mapping the 2-D workload onto
+the curve (:func:`~repro.algorithms.hilbert.flatten_workload`) so the budget
 allocation stays workload-aware; without a workload it falls back to the
 prefix workload over the flattened domain.
 """
@@ -18,11 +20,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.plan import MeasurementPlan
 from ..workload.builders import prefix_workload
 from ..workload.rangequery import Workload
-from .base import Algorithm, AlgorithmProperties
-from .hier import run_hierarchical
-from .hilbert import flatten_2d, flatten_matching_workload, unflatten_2d
+from .base import AlgorithmProperties, PlanAlgorithm
+from .hier import tree_plan
+from .hilbert import plan_flattening
+from .mechanisms import PrivacyBudget
 from .tree import HierarchicalTree
 
 __all__ = ["GreedyH", "greedy_budget_allocation"]
@@ -44,7 +48,7 @@ def greedy_budget_allocation(usage: np.ndarray, epsilon: float) -> np.ndarray:
     return epsilon * weights / weights.sum()
 
 
-class GreedyH(Algorithm):
+class GreedyH(PlanAlgorithm):
     """Workload-aware binary hierarchy with greedy budget allocation."""
 
     properties = AlgorithmProperties(
@@ -57,21 +61,16 @@ class GreedyH(Algorithm):
         reference="Li, Hay, Miklau. PVLDB 2014",
     )
 
-    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
-             rng: np.random.Generator) -> np.ndarray:
-        if x.ndim == 1:
-            return self._run_1d(x, epsilon, workload, rng)
-        flat, ordering = flatten_2d(x)
-        flat_workload = flatten_matching_workload(workload, ordering, x.shape)
-        estimate_flat = self._run_1d(flat, epsilon, flat_workload, rng)
-        return unflatten_2d(estimate_flat, ordering, x.shape)
-
-    def _run_1d(self, x: np.ndarray, epsilon: float, workload: Workload | None,
-                rng: np.random.Generator) -> np.ndarray:
+    def select(self, x: np.ndarray, workload: Workload | None,
+               budget: PrivacyBudget, rng: np.random.Generator) -> MeasurementPlan:
+        domain_shape = x.shape
+        ordering, flat_shape, workload = plan_flattening(x, workload)
         branching = int(self.params["branching"])
-        tree = HierarchicalTree(x.shape, branching=branching)
-        if workload is None or workload.ndim != 1 or workload.domain_shape != x.shape:
-            workload = prefix_workload(x.size)
+        tree = HierarchicalTree(flat_shape, branching=branching)
+        if workload is None or workload.ndim != 1 \
+                or workload.domain_shape != flat_shape:
+            workload = prefix_workload(flat_shape[0])
         usage = tree.level_usage(workload)
-        level_epsilons = greedy_budget_allocation(usage, epsilon)
-        return run_hierarchical(x, epsilon, tree, level_epsilons, rng)
+        level_epsilons = greedy_budget_allocation(usage, budget.total)
+        return tree_plan(tree, level_epsilons, domain_shape=domain_shape,
+                         ordering=ordering)

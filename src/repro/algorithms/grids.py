@@ -20,8 +20,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.plan import MeasurementPlan
+from ..workload.linops import QueryMatrix
 from ..workload.rangequery import Workload
-from .base import Algorithm, AlgorithmProperties
+from .base import Algorithm, AlgorithmProperties, PlanAlgorithm
 from .inference import inverse_variance_combine
 from .mechanisms import PrivacyBudget, laplace_noise
 
@@ -34,8 +36,14 @@ def _grid_edges(length: int, pieces: int) -> np.ndarray:
     return np.linspace(0, length, pieces + 1).astype(int)
 
 
-class UGrid(Algorithm):
-    """Uniform (single-level) grid."""
+class UGrid(PlanAlgorithm):
+    """Uniform (single-level) grid.
+
+    On the plan pipeline the selection stage sizes the grid from the scale
+    side information and emits one rectangle query per grid block (disjoint,
+    so the whole budget reaches every block); the generic disjoint
+    reconstruction spreads each noisy total uniformly over its block.
+    """
 
     properties = AlgorithmProperties(
         name="UGrid",
@@ -47,28 +55,42 @@ class UGrid(Algorithm):
         reference="Qardaji, Yang, Li. ICDE 2013",
     )
 
-    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
-             rng: np.random.Generator) -> np.ndarray:
+    def select(self, x: np.ndarray, workload: Workload | None,
+               budget: PrivacyBudget, rng: np.random.Generator) -> MeasurementPlan:
         c = float(self.params["c"])
         scale = float(x.sum())          # side information: true scale
-        grid_size = int(np.ceil(np.sqrt(max(scale * epsilon / c, 1.0))))
+        grid_size = int(np.ceil(np.sqrt(max(scale * budget.total / c, 1.0))))
         rows, cols = x.shape
         row_edges = _grid_edges(rows, grid_size)
         col_edges = _grid_edges(cols, grid_size)
 
-        estimate = np.zeros(x.shape)
+        los: list[tuple[int, int]] = []
+        his: list[tuple[int, int]] = []
         for r0, r1 in zip(row_edges[:-1], row_edges[1:]):
             for c0, c1 in zip(col_edges[:-1], col_edges[1:]):
-                block = x[r0:r1, c0:c1]
-                if block.size == 0:
+                if r1 <= r0 or c1 <= c0:
                     continue
-                noisy = block.sum() + float(laplace_noise(1.0 / epsilon, (), rng))
-                estimate[r0:r1, c0:c1] = noisy / block.size
-        return estimate
+                los.append((r0, c0))
+                his.append((r1 - 1, c1 - 1))
+        queries = QueryMatrix(np.array(los, dtype=np.intp),
+                              np.array(his, dtype=np.intp), x.shape)
+        return MeasurementPlan(
+            queries=queries,
+            epsilons=np.full(queries.n_queries, budget.total),
+            domain_shape=x.shape,
+            epsilon_measure=budget.total,     # grid blocks are disjoint
+        )
 
 
 class AGrid(Algorithm):
-    """Adaptive two-level grid."""
+    """Adaptive two-level grid.
+
+    Deliberately *not* on the plan pipeline: the fine grid inside each coarse
+    block is sized from that block's *noisy* coarse count, so selection and
+    measurement interleave block by block (coarse draw, then that block's
+    fine draws) — a faithful staging would have to pre-draw all the noise
+    during selection, which is the pipeline in name only.
+    """
 
     properties = AlgorithmProperties(
         name="AGrid",

@@ -5,6 +5,11 @@ H (Hay et al., PVLDB 2010) measures noisy totals of every node of a binary
 enforces consistency via least squares.  Hb (Qardaji et al., PVLDB 2013) is
 the same algorithm with the branching factor chosen to minimise the average
 range-query variance for the given domain size.
+
+Both are thin instances of the plan pipeline: their selection stage is
+:func:`tree_plan` (measure every node of a hierarchy, per-level budget
+shares), the noise stage is the shared :func:`~repro.core.plan.measure_plan`,
+and reconstruction is the generic GLS solve (exact two-pass tree fast path).
 """
 
 from __future__ import annotations
@@ -13,12 +18,45 @@ import numpy as np
 
 from ..core.gls import solve_gls
 from ..core.measurement import MeasurementSet
+from ..core.plan import MeasurementPlan, measure_plan
 from ..workload.rangequery import Workload
-from .base import Algorithm, AlgorithmProperties
-from .mechanisms import laplace_noise
+from .base import AlgorithmProperties, PlanAlgorithm
+from .mechanisms import PrivacyBudget
 from .tree import HierarchicalTree, optimal_branching
 
-__all__ = ["HierarchicalH", "HierarchicalHb", "measure_tree", "run_hierarchical"]
+__all__ = ["HierarchicalH", "HierarchicalHb", "tree_plan", "measure_tree",
+           "run_hierarchical"]
+
+
+def tree_plan(
+    tree: HierarchicalTree,
+    level_epsilons: np.ndarray,
+    domain_shape: tuple[int, ...] | None = None,
+    ordering: np.ndarray | None = None,
+    partition: np.ndarray | None = None,
+) -> MeasurementPlan:
+    """The selection plan of every tree-measuring strategy.
+
+    One query per tree node (node-index order) with its level's budget share;
+    a level with a non-positive share is left unmeasured and reconstructed
+    through consistency.  The levels partition the domain, so the exact
+    measurement cost is ``sum(level_epsilons)`` by parallel-within-level /
+    sequential-across-level composition, passed as ``epsilon_measure``.
+    """
+    level_epsilons = np.asarray(level_epsilons, dtype=float)
+    if level_epsilons.size != tree.n_levels:
+        raise ValueError("need one epsilon per tree level")
+    levels = np.array([node.level for node in tree.nodes], dtype=np.intp)
+    return MeasurementPlan(
+        queries=tree.as_query_matrix(),
+        epsilons=level_epsilons[levels],
+        domain_shape=tuple(domain_shape) if domain_shape is not None
+        else tree.domain_shape,
+        tree=tree,
+        ordering=ordering,
+        partition=partition,
+        epsilon_measure=float(np.maximum(level_epsilons, 0.0).sum()),
+    )
 
 
 def measure_tree(
@@ -29,33 +67,17 @@ def measure_tree(
 ) -> MeasurementSet:
     """Measure every tree node with its level's Laplace budget.
 
+    A thin wrapper over :func:`tree_plan` + the shared noise stage; kept as
+    the historical entry point (DAWA's stage two, tests, the quickstart).
     Returns the mechanism's full output as a :class:`MeasurementSet` over the
-    tree's node regions (node-index order); a level with zero budget is left
-    unmeasured (``nan`` value, infinite variance).  The total budget spent is
-    ``sum(level_epsilons)`` because the levels partition the domain, so by
-    sequential composition the result is that-much differentially private.
+    tree's node regions; the total budget spent is ``sum(level_epsilons)``.
     The "domain" need not be raw cells: DAWA calls this on its vector of
     bucket totals, whose per-bucket sensitivity is likewise 1.
 
     Noise is drawn node-by-node in node-index order — the draw order is part
     of the reproducibility contract (golden values pin it).
     """
-    level_epsilons = np.asarray(level_epsilons, dtype=float)
-    if level_epsilons.size != tree.n_levels:
-        raise ValueError("need one epsilon per tree level")
-
-    true_totals = tree.node_totals(x)
-    values = np.full(len(tree.nodes), np.nan)
-    variances = np.full(len(tree.nodes), np.inf)
-    for idx, node in enumerate(tree.nodes):
-        eps_level = level_epsilons[node.level]
-        if eps_level <= 0:
-            continue
-        scale = 1.0 / eps_level
-        values[idx] = true_totals[idx] + float(laplace_noise(scale, (), rng))
-        variances[idx] = 2.0 * scale ** 2
-    return MeasurementSet.from_tree(tree, values, variances,
-                                    epsilon_spent=float(level_epsilons.sum()))
+    return measure_plan(x, tree_plan(tree, level_epsilons), rng)
 
 
 def run_hierarchical(
@@ -75,7 +97,7 @@ def run_hierarchical(
     return solve_gls(measurements)
 
 
-class HierarchicalH(Algorithm):
+class HierarchicalH(PlanAlgorithm):
     """H: b-ary hierarchy with uniform per-level budget and consistency."""
 
     properties = AlgorithmProperties(
@@ -87,14 +109,14 @@ class HierarchicalH(Algorithm):
         reference="Hay, Rastogi, Miklau, Suciu. PVLDB 2010",
     )
 
-    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
-             rng: np.random.Generator) -> np.ndarray:
+    def select(self, x: np.ndarray, workload: Workload | None,
+               budget: PrivacyBudget, rng: np.random.Generator) -> MeasurementPlan:
         tree = HierarchicalTree(x.shape, branching=int(self.params["branching"]))
-        level_epsilons = np.full(tree.n_levels, epsilon / tree.n_levels)
-        return run_hierarchical(x, epsilon, tree, level_epsilons, rng)
+        level_epsilons = np.full(tree.n_levels, budget.total / tree.n_levels)
+        return tree_plan(tree, level_epsilons)
 
 
-class HierarchicalHb(Algorithm):
+class HierarchicalHb(PlanAlgorithm):
     """Hb: H with the branching factor optimised for the domain size."""
 
     properties = AlgorithmProperties(
@@ -105,10 +127,9 @@ class HierarchicalHb(Algorithm):
         reference="Qardaji, Yang, Li. PVLDB 2013",
     )
 
-    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
-             rng: np.random.Generator) -> np.ndarray:
-        side = max(x.shape)
-        branching = optimal_branching(side)
+    def select(self, x: np.ndarray, workload: Workload | None,
+               budget: PrivacyBudget, rng: np.random.Generator) -> MeasurementPlan:
+        branching = optimal_branching(max(x.shape))
         tree = HierarchicalTree(x.shape, branching=branching)
-        level_epsilons = np.full(tree.n_levels, epsilon / tree.n_levels)
-        return run_hierarchical(x, epsilon, tree, level_epsilons, rng)
+        level_epsilons = np.full(tree.n_levels, budget.total / tree.n_levels)
+        return tree_plan(tree, level_epsilons)

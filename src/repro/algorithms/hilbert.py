@@ -12,8 +12,9 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["hilbert_order", "flatten_2d", "flatten_workload",
-           "flatten_matching_workload", "unflatten_2d"]
+__all__ = ["hilbert_order", "hilbert_ordering_for", "flatten_2d",
+           "flatten_workload", "flatten_matching_workload", "plan_flattening",
+           "unflatten_2d"]
 
 
 def _d2xy(order: int, d: int) -> tuple[int, int]:
@@ -56,7 +57,11 @@ def hilbert_order(side: int) -> np.ndarray:
     return indices
 
 
-def _ordering_for(shape: tuple[int, int]) -> np.ndarray:
+def hilbert_ordering_for(shape: tuple[int, int]) -> np.ndarray:
+    """The flattening order of a 2-D domain: the Hilbert curve for square
+    power-of-two grids, row-major for everything else.  This is the
+    ``ordering`` the flattened plan-pipeline algorithms (GreedyH, DAWA)
+    attach to their :class:`~repro.core.plan.MeasurementPlan`."""
     rows, cols = shape
     if rows == cols and rows >= 1 and (rows & (rows - 1)) == 0:
         return hilbert_order(rows)
@@ -72,7 +77,7 @@ def flatten_2d(x: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     x = np.asarray(x, dtype=float)
     if x.ndim != 2:
         raise ValueError("flatten_2d expects a 2-D array")
-    ordering = _ordering_for(x.shape)
+    ordering = hilbert_ordering_for(x.shape)
     return x.ravel()[ordering], ordering
 
 
@@ -108,6 +113,19 @@ def flatten_matching_workload(workload, ordering: np.ndarray, shape: tuple[int, 
     if workload is None or workload.ndim != 2 or workload.domain_shape != shape:
         return None
     return flatten_workload(workload, ordering, shape)
+
+
+def plan_flattening(x: np.ndarray, workload):
+    """The flattening prologue shared by the 1-D plan algorithms run on 2-D
+    data (GreedyH, GreedyW, DAWA): the plan ``ordering`` (``None`` for 1-D
+    input), the flattened domain shape, and the workload mapped onto the
+    curve (``None`` when missing or mismatched — callers fall back to their
+    1-D default)."""
+    if x.ndim != 2:
+        return None, x.shape, workload
+    ordering = hilbert_ordering_for(x.shape)
+    return ordering, (x.size,), flatten_matching_workload(workload, ordering,
+                                                          x.shape)
 
 
 def unflatten_2d(values: np.ndarray, ordering: np.ndarray, shape: tuple[int, int]) -> np.ndarray:

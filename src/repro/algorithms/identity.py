@@ -4,19 +4,31 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.plan import MeasurementPlan
+from ..workload.linops import QueryMatrix
 from ..workload.rangequery import Workload
-from .base import Algorithm, AlgorithmProperties
-from .mechanisms import laplace_noise
+from .base import AlgorithmProperties, PlanAlgorithm
+from .mechanisms import PrivacyBudget
 
-__all__ = ["Identity"]
+__all__ = ["Identity", "identity_queries"]
 
 
-class Identity(Algorithm):
+def identity_queries(domain_shape: tuple[int, ...]) -> QueryMatrix:
+    """One point query per cell of the domain, in row-major order."""
+    ndim = len(domain_shape)
+    cells = np.indices(domain_shape).reshape(ndim, -1).T.astype(np.intp)
+    return QueryMatrix(cells, cells, domain_shape)
+
+
+class Identity(PlanAlgorithm):
     """Add independent Laplace(1/epsilon) noise to every cell of ``x``.
 
     This is the paper's data-independent baseline.  Its per-cell error does
     not depend on the data, and the error of a range query grows linearly in
-    the number of cells the range covers.
+    the number of cells the range covers.  On the plan pipeline: the
+    selection is the identity query set (the cells are disjoint, so the whole
+    budget goes to every cell by parallel composition) and reconstruction is
+    the exact disjoint scatter — the noisy cells themselves.
     """
 
     properties = AlgorithmProperties(
@@ -28,6 +40,12 @@ class Identity(Algorithm):
         reference="Dwork et al., TCC 2006",
     )
 
-    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
-             rng: np.random.Generator) -> np.ndarray:
-        return x + laplace_noise(1.0 / epsilon, x.shape, rng)
+    def select(self, x: np.ndarray, workload: Workload | None,
+               budget: PrivacyBudget, rng: np.random.Generator) -> MeasurementPlan:
+        queries = identity_queries(x.shape)
+        return MeasurementPlan(
+            queries=queries,
+            epsilons=np.full(queries.n_queries, budget.total),
+            domain_shape=x.shape,
+            epsilon_measure=budget.total,
+        )

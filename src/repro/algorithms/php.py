@@ -22,9 +22,15 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.plan import MeasurementPlan
+from ..workload.linops import QueryMatrix
 from ..workload.rangequery import Workload
-from .base import Algorithm, AlgorithmProperties
-from .mechanisms import PrivacyBudget, exponential_mechanism, laplace_noise
+from .base import AlgorithmProperties, PlanAlgorithm
+from .mechanisms import (
+    BudgetExceededError,
+    PrivacyBudget,
+    exponential_mechanism,
+)
 
 __all__ = ["PHP"]
 
@@ -46,8 +52,15 @@ class _SegmentCost:
         return np.maximum(total_sq - total * total / width, 0.0)
 
 
-class PHP(Algorithm):
-    """Recursive bisection partitioning for 1-D histograms."""
+class PHP(PlanAlgorithm):
+    """Recursive bisection partitioning for 1-D histograms.
+
+    On the plan pipeline the exponential-mechanism bisection is the selection
+    stage: it emits a contiguous-partition plan with one total query per
+    bucket (in the historical freeze order, which pins the noise-draw order),
+    and the generic disjoint reconstruction spreads each noisy total
+    uniformly over its bucket.
+    """
 
     properties = AlgorithmProperties(
         name="PHP",
@@ -59,12 +72,15 @@ class PHP(Algorithm):
         reference="Acs, Castelluccia, Chen. ICDM 2012",
     )
 
-    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
-             rng: np.random.Generator) -> np.ndarray:
+    def select(self, x: np.ndarray, workload: Workload | None,
+               budget: PrivacyBudget, rng: np.random.Generator) -> MeasurementPlan:
         rho = float(self.params["rho"])
-        budget = PrivacyBudget(epsilon)
-        eps_partition = budget.spend(epsilon * rho, "partition")
-        eps_counts = budget.spend_all("bucket-counts")
+        eps_partition = budget.spend(budget.total * rho, "partition")
+        eps_counts = budget.remaining
+        if eps_counts <= 0:
+            raise BudgetExceededError(
+                "bisection consumed the whole budget; nothing left for the "
+                "bucket counts")
 
         n = x.size
         cost = _SegmentCost(x)
@@ -97,11 +113,16 @@ class PHP(Algorithm):
                 current = left
         buckets.append(current)
 
-        estimate = np.zeros(n)
-        for lo, hi in buckets:
-            width = hi - lo
-            if width <= 0:
-                continue
-            noisy_total = x[lo:hi].sum() + float(laplace_noise(1.0 / eps_counts, (), rng))
-            estimate[lo:hi] = noisy_total / width
-        return estimate
+        # The buckets partition [0, n); the plan's queries address them over
+        # the sorted bucket domain but stay in freeze order, preserving the
+        # historical per-bucket noise-draw order.
+        edges = np.array(sorted(lo for lo, _ in buckets) + [n], dtype=np.intp)
+        positions = np.searchsorted(edges, [lo for lo, _ in buckets])[:, None]
+        return MeasurementPlan(
+            queries=QueryMatrix(positions, positions, (len(buckets),)),
+            epsilons=np.full(len(buckets), eps_counts),
+            domain_shape=x.shape,
+            partition=edges,
+            epsilon_selection=eps_partition,
+            epsilon_measure=eps_counts,       # buckets are disjoint
+        )

@@ -10,6 +10,11 @@ size instead of linearly as it does for IDENTITY.
 This implementation uses uniform noise across coefficients (the classic
 "wavelet strategy" instance of the matrix mechanism); the original paper's
 per-level weighting improves constants but not the asymptotics.
+
+Privelet is deliberately *not* on the plan pipeline: its measurement operator
+is the Haar analysis matrix, whose rows carry ±1 coefficients — outside the
+0/1 axis-aligned-range currency of :class:`~repro.workload.linops.QueryMatrix`
+that the shared noise stage speaks.
 """
 
 from __future__ import annotations

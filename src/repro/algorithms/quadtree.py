@@ -16,16 +16,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.plan import MeasurementPlan
 from ..workload.rangequery import Workload
-from .base import Algorithm, AlgorithmProperties
-from .hier import run_hierarchical
+from .base import Algorithm, AlgorithmProperties, PlanAlgorithm
+from .hier import run_hierarchical, tree_plan
 from .mechanisms import PrivacyBudget, laplace_noise
 from .tree import HierarchicalTree
 
 __all__ = ["QuadTree", "HybridTree"]
 
 
-class QuadTree(Algorithm):
+class QuadTree(PlanAlgorithm):
     """Fixed-height quadtree with consistency post-processing."""
 
     properties = AlgorithmProperties(
@@ -39,16 +40,23 @@ class QuadTree(Algorithm):
         reference="Cormode, Procopiuc, Shen, Srivastava, Yu. ICDE 2012",
     )
 
-    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
-             rng: np.random.Generator) -> np.ndarray:
+    def select(self, x: np.ndarray, workload: Workload | None,
+               budget: PrivacyBudget, rng: np.random.Generator) -> MeasurementPlan:
         max_height = int(self.params["max_height"])
         tree = HierarchicalTree(x.shape, branching=2, max_height=max_height)
-        level_epsilons = np.full(tree.n_levels, epsilon / tree.n_levels)
-        return run_hierarchical(x, epsilon, tree, level_epsilons, rng)
+        level_epsilons = np.full(tree.n_levels, budget.total / tree.n_levels)
+        return tree_plan(tree, level_epsilons)
 
 
 class HybridTree(Algorithm):
-    """kd-tree top levels followed by a quadtree (data-dependent hybrid)."""
+    """kd-tree top levels followed by a quadtree (data-dependent hybrid).
+
+    Deliberately *not* on the plan pipeline: after the kd splits, every
+    block is measured and solved as its *own* small hierarchy — a forest of
+    independent trees, which the tree-tagged GLS fast path (one tree per
+    measurement set) does not express.  The golden 2-D output pins the
+    historical per-block noise-draw and solve order.
+    """
 
     properties = AlgorithmProperties(
         name="HybridTree",

@@ -21,15 +21,26 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.measurement import MeasurementSet
+from ..core.plan import MeasurementPlan
+from ..workload.linops import QueryMatrix
 from ..workload.rangequery import Workload
-from .base import Algorithm, AlgorithmProperties
-from .mechanisms import PrivacyBudget, exponential_mechanism, laplace_noise
+from .base import AlgorithmProperties, PlanAlgorithm
+from .inference import inverse_variance_combine
+from .mechanisms import BudgetExceededError, PrivacyBudget, exponential_mechanism
 
 __all__ = ["StructureFirst"]
 
 
-class StructureFirst(Algorithm):
-    """StructureFirst histogram publication for 1-D data."""
+class StructureFirst(PlanAlgorithm):
+    """StructureFirst histogram publication for 1-D data.
+
+    On the plan pipeline the exponential-mechanism boundary search is the
+    selection stage; the plan measures, per bucket, a total query at half the
+    count budget plus every cell at the other half (single-cell buckets get
+    one full-budget query), and inference is the per-bucket two-level
+    inverse-variance closed form — the exact GLS solution of that
+    two-measurement system."""
 
     properties = AlgorithmProperties(
         name="SF",
@@ -44,8 +55,8 @@ class StructureFirst(Algorithm):
         reference="Xu, Zhang, Xiao, Yang, Yu, Winslett. VLDBJ 2013",
     )
 
-    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
-             rng: np.random.Generator) -> np.ndarray:
+    def select(self, x: np.ndarray, workload: Workload | None,
+               budget: PrivacyBudget, rng: np.random.Generator) -> MeasurementPlan:
         n = x.size
         rho = float(self.params["rho"])
         n_buckets = self.params["buckets"] or max(1, int(np.ceil(n / 10)))
@@ -57,12 +68,77 @@ class StructureFirst(Algorithm):
             # assumes the scale is public).
             count_bound = max(float(x.sum()), 1.0)
 
-        budget = PrivacyBudget(epsilon)
-        eps_structure = budget.spend(epsilon * rho, "structure") if n_buckets > 1 else 0.0
-        eps_counts = budget.spend_all("bucket-counts")
+        eps_structure = budget.spend(budget.total * rho, "structure") \
+            if n_buckets > 1 else 0.0
+        eps_counts = budget.remaining
+        if eps_counts <= 0:
+            raise BudgetExceededError(
+                "structure selection consumed the whole budget; nothing left "
+                "for the bucket counts")
 
-        boundaries = self._select_boundaries(x, n_buckets, eps_structure, count_bound, rng)
-        return self._estimate_buckets(x, boundaries, eps_counts, rng)
+        boundaries = self._select_boundaries(x, n_buckets, eps_structure,
+                                             count_bound, rng)
+        # Per bucket: one total query at eps_counts / 2 plus every cell at
+        # eps_counts / 2 (a single-cell bucket gets one full-budget query).
+        # Row order is the historical draw order: totals before cells,
+        # buckets left to right.
+        los: list[int] = []
+        his: list[int] = []
+        epsilons: list[float] = []
+        for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+            width = hi - lo
+            if width <= 0:
+                continue
+            if width == 1:
+                los.append(lo), his.append(lo), epsilons.append(eps_counts)
+                continue
+            los.append(lo), his.append(hi - 1), epsilons.append(eps_counts / 2.0)
+            for cell in range(lo, hi):
+                los.append(cell), his.append(cell)
+                epsilons.append(eps_counts / 2.0)
+        queries = QueryMatrix(np.array(los)[:, None], np.array(his)[:, None],
+                              x.shape)
+        return MeasurementPlan(
+            queries=queries,
+            epsilons=np.array(epsilons),
+            domain_shape=x.shape,
+            epsilon_selection=eps_structure,
+            # Two passes over disjoint buckets: totals + cells compose
+            # sequentially at eps_counts / 2 each.
+            epsilon_measure=eps_counts,
+            extras={"boundaries": boundaries},
+        )
+
+    def infer(self, measurements: MeasurementSet,
+              plan: MeasurementPlan) -> np.ndarray:
+        """Two-level least squares within each bucket (Section 6.2
+        modification): combine the two measurements of the bucket total by
+        inverse-variance weighting and distribute the residual evenly over
+        the cell estimates, which keeps the algorithm consistent."""
+        boundaries = plan.extras["boundaries"]
+        estimate = np.zeros(plan.domain_shape)
+        row = 0
+        values, variances = measurements.values, measurements.variances
+        for lo, hi in zip(boundaries[:-1], boundaries[1:]):
+            width = hi - lo
+            if width <= 0:
+                continue
+            if width == 1:
+                estimate[lo] = values[row]
+                row += 1
+                continue
+            noisy_total = float(values[row])
+            var_total = float(variances[row])
+            noisy_cells = values[row + 1: row + 1 + width]
+            var_cells_sum = width * float(variances[row + 1])
+            row += 1 + width
+            cells_sum = float(noisy_cells.sum())
+            combined_total, _ = inverse_variance_combine(
+                np.array([noisy_total, cells_sum]),
+                np.array([var_total, var_cells_sum]),
+            )
+            estimate[lo:hi] = noisy_cells + (combined_total - cells_sum) / width
+        return estimate
 
     # -- structure selection -------------------------------------------------------
     def _select_boundaries(self, x: np.ndarray, n_buckets: int, eps_structure: float,
@@ -113,34 +189,3 @@ class StructureFirst(Algorithm):
             boundaries.append(int(candidates[chosen]))
         return sorted(boundaries)
 
-    # -- count estimation ------------------------------------------------------------
-    def _estimate_buckets(self, x: np.ndarray, boundaries: list[int], eps_counts: float,
-                          rng: np.random.Generator) -> np.ndarray:
-        """Estimate bucket contents with a bucket-total + per-cell hierarchy."""
-        estimate = np.zeros(x.size)
-        for lo, hi in zip(boundaries[:-1], boundaries[1:]):
-            width = hi - lo
-            if width <= 0:
-                continue
-            if width == 1:
-                estimate[lo] = x[lo] + float(laplace_noise(1.0 / eps_counts, (), rng))
-                continue
-            eps_total = eps_counts / 2.0
-            eps_cells = eps_counts / 2.0
-            noisy_total = x[lo:hi].sum() + float(laplace_noise(1.0 / eps_total, (), rng))
-            noisy_cells = x[lo:hi] + laplace_noise(1.0 / eps_cells, width, rng)
-            # Two-level least squares within the bucket (Section 6.2
-            # modification): combine the two measurements of the bucket total
-            # by inverse-variance weighting and distribute the residual evenly
-            # over the cell estimates, which keeps the algorithm consistent.
-            var_total = 2.0 / eps_total ** 2
-            var_cells_sum = width * 2.0 / eps_cells ** 2
-            cells_sum = float(noisy_cells.sum())
-            weight_total = 1.0 / var_total
-            weight_cells = 1.0 / var_cells_sum
-            combined_total = (
-                (weight_total * noisy_total + weight_cells * cells_sum)
-                / (weight_total + weight_cells)
-            )
-            estimate[lo:hi] = noisy_cells + (combined_total - cells_sum) / width
-        return estimate

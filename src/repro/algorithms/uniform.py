@@ -4,14 +4,17 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.measurement import MeasurementSet
+from ..core.plan import MeasurementPlan
+from ..workload.linops import QueryMatrix
 from ..workload.rangequery import Workload
-from .base import Algorithm, AlgorithmProperties
-from .mechanisms import laplace_noise
+from .base import AlgorithmProperties, PlanAlgorithm
+from .mechanisms import PrivacyBudget
 
 __all__ = ["Uniform"]
 
 
-class Uniform(Algorithm):
+class Uniform(PlanAlgorithm):
     """Spend the whole budget on a noisy estimate of the dataset scale and
     spread it uniformly over the domain.
 
@@ -19,7 +22,10 @@ class Uniform(Algorithm):
     entire domain.  It is the paper's data-dependent baseline: an algorithm
     that cannot beat UNIFORM on non-uniform data is not providing useful
     information.  UNIFORM is biased (and therefore inconsistent) whenever the
-    data is not uniform.
+    data is not uniform.  On the plan pipeline the selection is a single
+    whole-domain query; the inference override clamps the noisy total at
+    zero before the uniform (min-norm) spread — plain post-processing of the
+    one noisy measurement.
     """
 
     properties = AlgorithmProperties(
@@ -31,8 +37,19 @@ class Uniform(Algorithm):
         reference="DPBench baseline",
     )
 
-    def _run(self, x: np.ndarray, epsilon: float, workload: Workload | None,
-             rng: np.random.Generator) -> np.ndarray:
-        noisy_total = x.sum() + float(laplace_noise(1.0 / epsilon, (), rng))
-        noisy_total = max(noisy_total, 0.0)
-        return np.full(x.shape, noisy_total / x.size)
+    def select(self, x: np.ndarray, workload: Workload | None,
+               budget: PrivacyBudget, rng: np.random.Generator) -> MeasurementPlan:
+        lo = np.zeros((1, x.ndim), dtype=np.intp)
+        hi = np.asarray(x.shape, dtype=np.intp)[None, :] - 1
+        return MeasurementPlan(
+            queries=QueryMatrix(lo, hi, x.shape),
+            epsilons=np.array([budget.total]),
+            domain_shape=x.shape,
+            epsilon_measure=budget.total,
+        )
+
+    def infer(self, measurements: MeasurementSet,
+              plan: MeasurementPlan) -> np.ndarray:
+        noisy_total = max(float(measurements.values[0]), 0.0)
+        size = int(np.prod(plan.domain_shape))
+        return np.full(plan.domain_shape, noisy_total / size)

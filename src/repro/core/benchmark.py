@@ -50,6 +50,7 @@ from .executor import (
     Job,
     JobRuntime,
     SerialExecutor,
+    _apply_shard,
     data_seed_sequence,
     job_seed_sequence,
     root_entropy_from,
@@ -298,7 +299,11 @@ class DPBench:
         executor:
             Scheduling policy; defaults to the benchmark's ``executor`` field
             or :class:`SerialExecutor`.  Pass
-            ``ParallelExecutor(workers=N)`` for a process-pool fan-out.
+            ``ParallelExecutor(workers=N)`` for a process-pool fan-out.  An
+            executor carrying ``shard=(i, n_shards)`` restricts the sweep to
+            its stripe ``jobs[i::n_shards]`` of the canonical job list —
+            applied *before* resume filtering, so a resumed shard never
+            drifts onto other shards' jobs.
         checkpoint:
             Path of a JSONL run-log.  Every completed record is appended (and
             flushed) as it finishes, so an interrupted sweep loses at most
@@ -316,7 +321,7 @@ class DPBench:
         resume = self.resume if resume is None else resume
         root_entropy = root_entropy_from(rng)
 
-        jobs = self.jobs()
+        jobs = _apply_shard(self.jobs(), getattr(executor, "shard", None))
         prior: dict[tuple, RunRecord] = {}
         prior_entries: list[dict] = []
         prior_keys: set[tuple] = set()

@@ -52,6 +52,27 @@ __all__ = [
 ]
 
 
+def _apply_shard(jobs: list[Job], shard: tuple[int, int] | None) -> list[Job]:
+    """Restrict a job list to one shard of a multi-host sweep.
+
+    ``shard=(i, n_shards)`` keeps ``jobs[i::n_shards]`` — a deterministic
+    striped split of the canonical job order, so ``n_shards`` hosts running
+    the same grid with the same root entropy partition it exactly.  Each
+    host's checkpoint run-log is later combined with ``python -m repro.merge``.
+
+    The stripe is taken by :meth:`DPBench.run` over the *canonical* job list,
+    before any resume filtering — striping the already-filtered pending list
+    would drift a resumed shard onto other shards' jobs.
+    """
+    if shard is None:
+        return jobs
+    index, n_shards = (int(v) for v in shard)
+    if n_shards < 1 or not 0 <= index < n_shards:
+        raise ValueError(
+            f"shard must be (i, n_shards) with 0 <= i < n_shards, got {shard}")
+    return jobs[index::n_shards]
+
+
 # -- job identity ---------------------------------------------------------------------
 
 @dataclass(frozen=True)
@@ -178,7 +199,16 @@ class JobRuntime:
 # -- executors ------------------------------------------------------------------------
 
 class SerialExecutor:
-    """Run jobs one after another in the current process (the default)."""
+    """Run jobs one after another in the current process (the default).
+
+    ``shard=(i, n_shards)`` restricts the sweep to this executor's stripe of
+    the canonical job list for multi-host runs; the benchmark runner applies
+    the stripe before resume filtering (see :func:`_apply_shard`).
+    """
+
+    def __init__(self, shard: tuple[int, int] | None = None):
+        self.shard = shard
+        _apply_shard([], shard)                  # validate eagerly
 
     def execute(self, bench, jobs: Iterable[Job], root_entropy: int,
                 on_error: str = "record") -> Iterator[tuple[Job, object]]:
@@ -213,13 +243,20 @@ class ParallelExecutor:
     start method every component of the benchmark (datasets, factories,
     workload factory) must be picklable; under ``fork`` (the Linux default)
     closures are tolerated.
+
+    ``shard=(i, n_shards)`` restricts the sweep to this pool's stripe of the
+    canonical job list for multi-host runs; the benchmark runner applies the
+    stripe before resume filtering (see :func:`_apply_shard`).
     """
 
-    def __init__(self, workers: int = 2, mp_context=None):
+    def __init__(self, workers: int = 2, mp_context=None,
+                 shard: tuple[int, int] | None = None):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = int(workers)
         self.mp_context = mp_context
+        self.shard = shard
+        _apply_shard([], shard)                  # validate eagerly
 
     def execute(self, bench, jobs: Iterable[Job], root_entropy: int,
                 on_error: str = "record") -> Iterator[tuple[Job, object]]:

@@ -28,6 +28,7 @@ ALGORITHM_REGISTRY: dict[str, type[Algorithm]] = {
     "H": algs.HierarchicalH,
     "Hb": algs.HierarchicalHb,
     "GreedyH": algs.GreedyH,
+    "GreedyW": algs.GreedyW,
     "MWEM": algs.MWEM,
     "MWEM*": algs.MWEMStar,
     "AHP": algs.AHP,

@@ -19,7 +19,8 @@ import numpy as np
 
 from .error import ErrorSummary, summarize_errors
 
-__all__ = ["ExperimentSetting", "RunRecord", "ResultSet", "read_jsonl_entries"]
+__all__ = ["ExperimentSetting", "RunRecord", "ResultSet", "read_jsonl_entries",
+           "merge_run_logs"]
 
 
 def read_jsonl_entries(source) -> list[dict]:
@@ -50,6 +51,37 @@ def read_jsonl_entries(source) -> list[dict]:
                 continue                      # torn tail of a killed run
             raise
     return entries
+
+
+def merge_run_logs(output, inputs) -> int:
+    """Combine shard run-logs into one, deduplicated by record identity.
+
+    The multi-host counterpart of the executor's ``shard=(i, n_shards)``
+    knob: each host streams its stripe of the grid to its own JSONL
+    checkpoint, and ``python -m repro.merge out.jsonl shard*.jsonl`` folds
+    them into one run-log holding exactly the *set* of records an unsharded
+    run would have produced (each record bitwise-identical), in shard-
+    concatenation order — not the canonical interleaved job order, so
+    compare by record identity, not line by line.  Entries are keyed by
+    record identity (skip markers by job identity); later inputs override
+    earlier ones, ordering is first appearance.  Consumers are order-
+    insensitive: ``ResultSet.from_jsonl`` + ``merge``/``record_key`` lookups,
+    or ``DPBench.run(..., resume=True)``, which reassembles canonical order
+    itself.  Returns the number of entries written.
+    """
+    merged: dict[tuple, dict] = {}
+    for source in inputs:
+        for entry in read_jsonl_entries(Path(source)):
+            if entry.get("skipped"):
+                from .executor import Job
+
+                key = ("skipped",) + Job.key_from_dict(entry["job"])
+            else:
+                key = ("record",) + RunRecord.from_dict(entry).record_key()
+            merged[key] = entry          # later shard overrides in place
+    text = "".join(json.dumps(entry) + "\n" for entry in merged.values())
+    Path(output).write_text(text, encoding="utf8")
+    return len(merged)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,40 @@
+"""Merge shard run-logs from a multi-host sweep into one JSONL run-log.
+
+Usage::
+
+    python -m repro.merge out.jsonl shard0.jsonl shard1.jsonl ...
+
+Each host runs its stripe of the grid with the executor's
+``shard=(i, n_shards)`` knob and streams completed records to its own
+checkpoint; this entry point folds the shard logs into one run-log holding
+the same records an unsharded run would have produced (deduplicated by
+record identity, later shards overriding earlier ones, shard-concatenation
+order).  The merged log feeds ``DPBench.run(..., checkpoint=...,
+resume=True)`` — which reassembles canonical grid order itself — or
+``ResultSet.from_jsonl`` directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .core.results import merge_run_logs
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.merge",
+        description="Merge shard run-logs into one JSONL run-log.")
+    parser.add_argument("output", help="path of the merged run-log to write")
+    parser.add_argument("inputs", nargs="+",
+                        help="shard run-logs, in shard order")
+    args = parser.parse_args(argv)
+    count = merge_run_logs(args.output, args.inputs)
+    print(f"merged {len(args.inputs)} shard logs into {args.output} "
+          f"({count} entries)")
+    return 0
+
+
+if __name__ == "__main__":                       # pragma: no cover - CLI shim
+    sys.exit(main())

@@ -1,0 +1,185 @@
+"""Workload-aware measurement selection (matrix-mechanism style).
+
+The matrix mechanism frames a private release as the choice of a *strategy*
+query set ``A`` whose noisy answers, reconciled by least squares, answer the
+target workload ``W`` with minimal expected variance.  This module implements
+a greedy, data-independent selection over hierarchical candidate strategies:
+
+* **candidates** are b-ary hierarchies over the domain for a small set of
+  branching factors, each refined by greedily *dropping* internal levels —
+  a dropped level is left unmeasured and every workload query that used its
+  nodes re-decomposes onto the nearest measured descendants;
+* **scoring** is the expected workload variance of a candidate under the
+  canonical-decomposition error model with the cube-root-optimal per-level
+  budget allocation (the same model GreedyH's allocation minimises): with
+  per-level usage counts ``c_l`` over the measured levels, the optimal
+  allocation ``eps_l ∝ c_l^(1/3)`` gives total variance
+  ``2 (sum_l c_l^(1/3))^3 / eps^2``.  The model is the standard
+  upper-bound proxy for the exact GLS variance (consistency only tightens
+  it); the tests cross-check the ranking against the exact dense GLS
+  covariance on small domains.
+
+Everything is computed through the sorted per-level interval tables of
+:class:`~repro.algorithms.tree.HierarchicalTree` — vectorised rank queries,
+no dense strategy or workload matrices.
+
+The result plugs straight into the plan pipeline: ``GreedyW``
+(:mod:`repro.algorithms.greedy_w`) wraps :func:`greedy_tree_strategy` as a
+:class:`~repro.core.plan.SelectionStrategy`, which is all it takes for a new
+selection idea to become a benchmark algorithm.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..algorithms.tree import HierarchicalTree
+
+__all__ = ["TreeStrategy", "subset_level_usage", "predicted_workload_variance",
+           "greedy_tree_strategy"]
+
+
+def subset_level_usage(tree: HierarchicalTree, workload,
+                       measured: np.ndarray) -> np.ndarray:
+    """Per-level usage counts when only a subset of levels is measured.
+
+    Generalises :meth:`HierarchicalTree.level_usage` (1-D only): a node at a
+    measured level is used by a query iff it lies inside the query and its
+    nearest measured proper ancestor does not (by laminarity, that ancestor
+    is at the *previous* measured level).  Unmeasured levels report zero.
+    Partially overlapping leaves at the query ends count as in the full
+    decomposition; every leaf level must be measured, otherwise cells would
+    be unidentifiable.
+
+    Vectorised over the workload via rank queries on the sorted per-level
+    interval tables — O((q + nodes) log nodes), no per-query recursion.
+    """
+    if len(tree.domain_shape) != 1:
+        raise ValueError("subset usage is 1-D only")
+    measured = np.asarray(measured, dtype=bool)
+    if measured.shape != (tree.n_levels,):
+        raise ValueError("need one measured flag per tree level")
+    leaf_levels = {node.level for node in tree.leaves()}
+    if not all(measured[level] for level in leaf_levels):
+        raise ValueError("every leaf level must be measured")
+
+    tables, leaves = tree._level_tables_1d()
+    los = np.array([q.lo[0] for q in workload], dtype=np.intp)
+    his = np.array([q.hi[0] for q in workload], dtype=np.intp)
+    usage = np.zeros(tree.n_levels)
+
+    prev_run = None
+    for level, table in enumerate(tables):
+        if not measured[level]:
+            continue
+        i = np.searchsorted(table["starts"], los, side="left")
+        j = np.searchsorted(table["ends"], his, side="right")
+        inside = np.maximum(j - i, 0)
+        covered = 0
+        if prev_run is not None:
+            # Descendants (at this level) of the previous measured level's
+            # inside-run: the nodes lying within the run's interval span.
+            pi, pj, ptable = prev_run
+            valid = pj > pi
+            last = np.minimum(np.maximum(pj - 1, 0), ptable["starts"].size - 1)
+            first = np.minimum(pi, ptable["starts"].size - 1)
+            span_lo = ptable["starts"][first]
+            span_hi = ptable["ends"][last]
+            i2 = np.searchsorted(table["starts"], span_lo, side="left")
+            j2 = np.searchsorted(table["ends"], span_hi, side="right")
+            covered = np.where(valid, np.maximum(j2 - i2, 0), 0)
+        usage[level] = float(np.sum(inside - covered))
+        prev_run = (i, j, table)
+
+    # Partial-overlap leaves: an intersecting but not-inside leaf at each
+    # end of the query (at most one per side, possibly the same leaf).
+    i0 = np.searchsorted(leaves["ends"], los, side="left")
+    j0 = np.searchsorted(leaves["starts"], his, side="right")
+    i1 = np.searchsorted(leaves["starts"], los, side="left")
+    j1 = np.searchsorted(leaves["ends"], his, side="right")
+    left = i1 > i0
+    right = j0 > j1
+    same = left & right & (i0 == j0 - 1)
+    if np.any(left):
+        np.add.at(usage, leaves["levels"][i0[left]], 1.0)
+    right_only = right & ~same
+    if np.any(right_only):
+        np.add.at(usage, leaves["levels"][j0[right_only] - 1], 1.0)
+    return usage
+
+
+def predicted_workload_variance(usage: np.ndarray, epsilon: float = 1.0) -> float:
+    """Expected total workload variance of a strategy with the given usage.
+
+    Canonical-decomposition model under the cube-root-optimal allocation:
+    minimising ``sum_l c_l / eps_l**2`` (per-level Laplace variance
+    ``2 / eps_l**2`` times usage) subject to ``sum_l eps_l = eps`` gives
+    ``2 (sum_l c_l^(1/3))^3 / eps^2``.  The bottom level is floored to one
+    use, mirroring :func:`~repro.algorithms.greedy_h.greedy_budget_allocation`
+    (the leaves are always measured).
+    """
+    usage = np.asarray(usage, dtype=float).copy()
+    if usage.sum() <= 0:
+        usage[:] = 1.0
+    usage[-1] = max(usage[-1], 1.0)
+    roots = np.cbrt(usage[usage > 0])
+    return 2.0 * float(roots.sum()) ** 3 / float(epsilon) ** 2
+
+
+@dataclass
+class TreeStrategy:
+    """A selected hierarchical strategy: the tree, its measured levels, the
+    workload usage over them and the model score (variance at epsilon 1)."""
+
+    tree: HierarchicalTree
+    measured: np.ndarray
+    usage: np.ndarray
+    score: float
+
+
+def greedy_tree_strategy(
+    domain_size: int,
+    workload,
+    branchings: tuple[int, ...] = (2, 4, 8, 16),
+) -> TreeStrategy:
+    """Greedily select the hierarchical strategy with the lowest predicted
+    workload variance.
+
+    For every candidate branching factor, start from the full hierarchy and
+    repeatedly drop the internal level whose removal most reduces the
+    predicted variance (re-deriving the usage counts of the remaining levels,
+    since dropped nodes re-route queries to their descendants), until no
+    single drop helps; the best candidate across branchings wins.  Ties keep
+    the earlier (smaller-branching) candidate, so the search is
+    deterministic.
+    """
+    if not branchings:
+        raise ValueError("need at least one candidate branching factor")
+    best: TreeStrategy | None = None
+    for branching in branchings:
+        tree = HierarchicalTree((int(domain_size),), branching=int(branching))
+        leaf_levels = {node.level for node in tree.leaves()}
+        measured = np.ones(tree.n_levels, dtype=bool)
+        usage = subset_level_usage(tree, workload, measured)
+        score = predicted_workload_variance(usage)
+        while True:
+            best_drop = None
+            for level in range(tree.n_levels):
+                if not measured[level] or level in leaf_levels:
+                    continue
+                trial = measured.copy()
+                trial[level] = False
+                trial_usage = subset_level_usage(tree, workload, trial)
+                trial_score = predicted_workload_variance(trial_usage)
+                if trial_score < score and (
+                        best_drop is None or trial_score < best_drop[0]):
+                    best_drop = (trial_score, level, trial, trial_usage)
+            if best_drop is None:
+                break
+            score, _, measured, usage = best_drop
+        if best is None or score < best.score:
+            best = TreeStrategy(tree=tree, measured=measured, usage=usage,
+                                score=score)
+    return best

@@ -170,9 +170,13 @@ class TestCannedSuites:
     def test_benchmark_1d_defaults_cover_all_datasets_and_algorithms(self):
         bench = benchmark_1d()
         assert len(bench.datasets) == 18
-        assert len(bench.algorithms) == 15       # all 1-D algorithms from Table 1
+        # All 1-D algorithms from Table 1 plus the GreedyW selection entry.
+        assert len(bench.algorithms) == 16
+        assert "GreedyW" in bench.algorithms
 
     def test_benchmark_2d_defaults(self):
         bench = benchmark_2d()
         assert len(bench.datasets) == 9
-        assert len(bench.algorithms) == 14       # all 2-D algorithms from Table 1
+        # All 2-D algorithms from Table 1 plus the GreedyW selection entry.
+        assert len(bench.algorithms) == 15
+        assert "GreedyW" in bench.algorithms

@@ -256,13 +256,14 @@ class TestRegistry:
         assert "HybridTree" in algorithm_names(2, include_extras=True)
 
     def test_paper_algorithm_count(self):
-        # Table 1 lists 18 evaluated entries (including the starred variants
-        # and both baselines).
-        assert len(algorithm_names(None)) == 18
+        # Table 1's 18 evaluated entries (including the starred variants and
+        # both baselines) plus this reproduction's GreedyW selection entry.
+        assert len(algorithm_names(None)) == 19
+        assert "GreedyW" in algorithm_names(1)
 
     def test_table1_rows_cover_registry(self):
         rows = table1_rows(include_extras=True)
-        assert len(rows) == 19
+        assert len(rows) == 20
         by_name = {row["algorithm"]: row for row in rows}
         assert by_name["UGrid"]["side_information"] == ["scale"]
         assert by_name["PHP"]["consistent"] is False

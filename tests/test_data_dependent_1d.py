@@ -204,23 +204,25 @@ class TestDAWA:
 
     def test_release_is_postprocessing_of_noisy_measurements(self):
         """End-to-end privacy principle: the release must be a function of
-        noisy quantities only.  Run DAWA's internals on a non-count input
-        (negative entries, where the old code re-added the *true* clipped
-        bucket mass without noise) and check the release is reproducible from
-        the private partition and the noisy measurements alone."""
-        from repro import solve_gls
+        noisy quantities only.  Run DAWA's pipeline stages on a non-count
+        input (negative entries, where the old code re-added the *true*
+        clipped bucket mass without noise) and check the release is
+        reproducible from the private plan and the noisy measurements alone."""
+        from repro.algorithms.mechanisms import PrivacyBudget
+        from repro.core.plan import measure_plan
 
         algorithm = DAWA()
         x = np.array([4.0, -9.0, 3.0, -2.5, 8.0, 0.0, -1.0, 5.0] * 8)
-        release = algorithm._run_1d(x, 1.0, None, np.random.default_rng(11))
-        edges, measurements = algorithm._partition_and_measure(
-            x, 1.0, None, np.random.default_rng(11))
-        widths = np.diff(edges)
-        rebuilt = np.repeat(solve_gls(measurements) / widths, widths)
+        release = algorithm._run(x, 1.0, None, np.random.default_rng(11))
+        budget = PrivacyBudget(1.0)
+        rng = np.random.default_rng(11)
+        plan = algorithm.select(x, None, budget, rng)
+        measurements = measure_plan(x, plan, rng, budget=budget)
+        rebuilt = algorithm.infer(measurements, plan)
         assert np.array_equal(rebuilt, release)
         # the measurements are noisy answers over the *raw* (unclipped)
         # bucket totals — stage two touches the data only through them
-        totals = np.add.reduceat(x, edges[:-1])
+        totals = np.add.reduceat(x, plan.partition[:-1])
         assert np.any(totals < 0)                        # clipping would bite here
         residual = measurements.residual(totals)
         assert residual.size > 0 and not np.allclose(residual, 0.0)
