@@ -17,10 +17,15 @@ operator in the measurement/inference refactor:
   loop (the cross-validated reference) versus the vectorised
   candidate-pruning path, on the input DAWA actually feeds it: noisy counts
   with a known Laplace scale.
+* **the Hilbert curve builder** — the historical pure-Python ``_d2xy`` loop
+  (O(n) interpreter iterations, a million at 1024 x 1024) versus the
+  vectorised bit-twiddling, pinned bitwise-identical.
 
-The selection-quality bench exercises the plan pipeline's new seam: GreedyW's
+The selection-quality benches exercise the plan pipeline's seam: GreedyW's
 greedy workload-aware measurement selection must beat Identity (and GreedyH)
-on a skewed point-heavy workload at fixed epsilon.
+on a skewed point-heavy 1-D workload at fixed epsilon, and its *native* 2-D
+selection must beat both the Hilbert-span variant it replaces and GreedyH on
+the paper's 64 x 64 random-range benchmark workload.
 
 Run with ``python -m pytest benchmarks/bench_inference_speed.py -q``.
 ``DPBENCH_SMOKE=1`` shrinks round counts and the dense-solve domain so the
@@ -235,6 +240,41 @@ def test_dawa_partition_speed(benchmark):
         f"vectorised L1 partition only {speedup:.1f}x over the reference loop"
 
 
+HILBERT_SIDE = 512 if SMOKE else 1024
+
+
+def test_hilbert_order_speed(benchmark):
+    """The vectorised Hilbert curve builder vs the pure-Python loop.
+
+    The orderings must be bitwise-identical (the vectorised path performs the
+    same integer arithmetic on the whole position vector at once), and the
+    vectorised path must hold a >= 5x margin — in practice it is one to two
+    orders of magnitude faster, and the margin grows with the grid side.
+    """
+    from repro.algorithms.hilbert import hilbert_order, hilbert_order_reference
+
+    def study():
+        side = HILBERT_SIDE
+        t_ref, order_ref = _time(lambda: hilbert_order_reference(side), repeats=1)
+        t_fast, order_fast = _time(lambda: hilbert_order(side), repeats=3)
+        assert order_fast.tobytes() == order_ref.tobytes(), \
+            "vectorised Hilbert ordering diverged from the reference"
+        rows = [
+            {"path": f"pure-Python _d2xy loop (side={side})", "seconds": t_ref,
+             "speedup": 1.0},
+            {"path": f"vectorised bit-twiddling (side={side})", "seconds": t_fast,
+             "speedup": t_ref / t_fast},
+        ]
+        return rows, t_ref / t_fast
+
+    rows, speedup = run_once(benchmark, study)
+    report("bench_hilbert_speed",
+           f"Hilbert curve construction (side {HILBERT_SIDE})",
+           format_table(rows, floatfmt="{:.4f}"))
+    assert speedup >= 5.0, \
+        f"vectorised hilbert_order only {speedup:.1f}x over the Python loop"
+
+
 SELECTION_DOMAIN = 1024
 SELECTION_TRIALS = 4 if SMOKE else 10
 
@@ -297,3 +337,69 @@ def test_greedyw_selection_quality(benchmark):
         f"GreedyW only {vs_identity:.2f}x better than Identity on the skewed workload"
     assert vs_greedyh > 1.2, \
         f"GreedyW only {vs_greedyh:.2f}x better than GreedyH on the skewed workload"
+
+
+SELECTION_2D_SIDE = 64
+SELECTION_2D_TRIALS = 4 if SMOKE else 8
+
+
+def test_greedyw_2d_selection_quality(benchmark):
+    """Native 2-D workload-aware selection on the paper's 2-D benchmark
+    workload: 2000 uniformly random range queries over a 64 x 64 grid.
+
+    GreedyW's native path scores 2-D candidate hierarchies (pruned quadtrees
+    and kd-style marginal grids) against the true rectangle workload; it must
+    achieve lower scaled workload error than both the Hilbert-span variant it
+    replaces (``native_2d=False`` — each rectangle blurred to the span of its
+    curve positions) and GreedyH (Hilbert-flattened binary hierarchy, as the
+    paper prescribes) at fixed epsilon.  Fixed-seed trials keep the gate
+    deterministic.
+    """
+    from repro import make_algorithm, scaled_average_per_query_error
+    from repro.workload.builders import random_range_workload
+
+    def study():
+        n = SELECTION_2D_SIDE
+        workload = random_range_workload((n, n), 2000, rng=20160626)
+        drng = np.random.default_rng(7)
+        scale = 1_000_000
+        x = drng.multinomial(scale, drng.dirichlet(np.ones(n * n))) \
+            .astype(float).reshape(n, n)
+        truth = workload.evaluate(x)
+
+        epsilon = 0.1
+        variants = {
+            "GreedyW (native 2-D)": make_algorithm("GreedyW"),
+            "GreedyW (Hilbert spans)": make_algorithm("GreedyW",
+                                                      native_2d=False),
+            "GreedyH (Hilbert)": make_algorithm("GreedyH"),
+            "Identity": make_algorithm("Identity"),
+        }
+        rows, errors = [], {}
+        for label, algorithm in variants.items():
+            trial_errors = [
+                scaled_average_per_query_error(
+                    truth,
+                    workload.evaluate(algorithm.run(
+                        x, epsilon, workload=workload, rng=5000 + t)),
+                    scale)
+                for t in range(SELECTION_2D_TRIALS)
+            ]
+            errors[label] = float(np.mean(trial_errors))
+            rows.append({"algorithm": label, "scaled_error": errors[label]})
+        native = errors["GreedyW (native 2-D)"]
+        for row in rows:
+            row["vs_native"] = row["scaled_error"] / native
+        return rows, (errors["GreedyW (Hilbert spans)"] / native,
+                      errors["GreedyH (Hilbert)"] / native)
+
+    rows, (vs_spans, vs_greedyh) = run_once(benchmark, study)
+    report("bench_selection_quality_2d",
+           f"Native 2-D selection quality ({SELECTION_2D_SIDE}x"
+           f"{SELECTION_2D_SIDE}, 2000 random ranges, eps=0.1, "
+           f"{SELECTION_2D_TRIALS} trials)",
+           format_table(rows, floatfmt="{:.4e}"))
+    assert vs_spans > 1.2, \
+        f"native 2-D GreedyW only {vs_spans:.2f}x better than the Hilbert-span variant"
+    assert vs_greedyh > 1.5, \
+        f"native 2-D GreedyW only {vs_greedyh:.2f}x better than GreedyH"

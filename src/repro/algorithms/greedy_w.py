@@ -19,7 +19,13 @@ selection-quality micro-bench pins that win.
 
 GreedyW is data-independent: the selection consults only the workload and the
 domain, so its per-(domain, workload) result is memoised on the instance.
-The 2-D variant flattens along the Hilbert curve, exactly like GreedyH/DAWA.
+In 2-D the selection is *native*: candidates are quadtree-style b x b trees
+and kd-style marginal-grid hierarchies over the grid itself, scored against
+the true rectangle workload through the per-level grid tables, and the winner
+is emitted as a tree-tagged 2-D plan solved by the exact two-pass GLS — no
+Hilbert flattening, no lossy query spans (the flattened span path remains as
+GreedyH/DAWA's prescription, and as GreedyW's fallback when no matching 2-D
+workload is supplied or ``native_2d`` is switched off for comparison).
 """
 
 from __future__ import annotations
@@ -48,14 +54,14 @@ class GreedyW(PlanAlgorithm):
         data_dependent=False,
         hierarchical=True,
         workload_aware=True,
-        parameters={"branchings": (2, 4, 8, 16)},
+        parameters={"branchings": (2, 4, 8, 16), "native_2d": True},
         reference="This reproduction: greedy matrix-mechanism-style selection",
     )
 
-    def _strategy_for(self, domain_size: int, workload: Workload):
+    def _strategy_for(self, domain_shape: tuple[int, ...], workload: Workload):
         """Memoised greedy selection: one search per (domain, workload)."""
         operator = workload.operator
-        key = (int(domain_size), tuple(self.params["branchings"]),
+        key = (tuple(domain_shape), tuple(self.params["branchings"]),
                workload.name, operator.n_queries,
                hash(operator.los.tobytes()), hash(operator.his.tobytes()))
         cache = getattr(self, "_selection_cache", None)
@@ -63,18 +69,26 @@ class GreedyW(PlanAlgorithm):
             cache = self._selection_cache = {}
         if key not in cache:
             cache[key] = greedy_tree_strategy(
-                domain_size, workload,
+                domain_shape, workload,
                 branchings=tuple(int(b) for b in self.params["branchings"]))
         return cache[key]
 
     def select(self, x: np.ndarray, workload: Workload | None,
                budget: PrivacyBudget, rng: np.random.Generator) -> MeasurementPlan:
         domain_shape = x.shape
+        if x.ndim == 2 and self.params["native_2d"] and workload is not None \
+                and workload.ndim == 2 and workload.domain_shape == domain_shape:
+            # Native 2-D path: score the true rectangle workload on 2-D
+            # candidate hierarchies and emit a tree-tagged 2-D plan.
+            strategy = self._strategy_for(domain_shape, workload)
+            level_epsilons = greedy_budget_allocation(strategy.usage,
+                                                      budget.total)
+            return tree_plan(strategy.tree, level_epsilons)
         ordering, flat_shape, workload = plan_flattening(x, workload)
         if workload is None or workload.ndim != 1 \
                 or workload.domain_shape != flat_shape:
             workload = prefix_workload(flat_shape[0])
-        strategy = self._strategy_for(flat_shape[0], workload)
+        strategy = self._strategy_for(flat_shape, workload)
         # The dropped levels carry zero usage, so the cube-root allocation
         # leaves them unmeasured — the same rule GreedyH applies to levels
         # the workload never touches.

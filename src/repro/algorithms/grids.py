@@ -31,9 +31,16 @@ __all__ = ["UGrid", "AGrid"]
 
 
 def _grid_edges(length: int, pieces: int) -> np.ndarray:
-    """Boundaries of an equi-width partition of ``range(length)`` into ``pieces``."""
+    """Boundaries of an equi-width partition of ``range(length)`` into ``pieces``.
+
+    Computed in exact integer arithmetic (``floor(i * length / pieces)``), so
+    consecutive widths differ by at most one.  The historical
+    ``np.linspace(...).astype(int)`` truncated float intermediates, drifting
+    off the balanced grid (and at the mercy of float rounding) whenever
+    ``i * length / pieces`` landed just below an integer.
+    """
     pieces = int(np.clip(pieces, 1, length))
-    return np.linspace(0, length, pieces + 1).astype(int)
+    return np.arange(pieces + 1, dtype=np.intp) * int(length) // pieces
 
 
 class UGrid(PlanAlgorithm):

@@ -15,7 +15,41 @@ import numpy as np
 from ..workload.linops import QueryMatrix
 from ..workload.prefix_sum import PrefixSum
 
-__all__ = ["TreeNode", "HierarchicalTree", "build_tree", "optimal_branching"]
+
+def _grid_count(prefix: np.ndarray, i0, j0, i1, j1):
+    """Marked level-grid cells in rows ``[i0, j0)`` x cols ``[i1, j1)``.
+
+    ``prefix`` is a 2-D inclusive prefix-sum table with a zero border; empty
+    runs (``j <= i``) count zero.  All arguments vectorise over queries.
+    """
+    b0 = np.maximum(j0, i0)
+    b1 = np.maximum(j1, i1)
+    return prefix[b0, b1] - prefix[i0, b1] - prefix[b0, i1] + prefix[i0, i1]
+
+
+def _descendant_run(pstarts, pends, pi, pj, starts, ends):
+    """Run of this level's axis intervals descending from the previous
+    level's run ``[pi, pj)``: the intervals inside the run's span.  Garbage
+    for empty parent runs — callers mask those out."""
+    first = np.minimum(pi, pstarts.size - 1)
+    last = np.minimum(np.maximum(pj - 1, 0), pstarts.size - 1)
+    a = np.searchsorted(starts, pstarts[first], side="left")
+    b = np.searchsorted(ends, pends[last], side="right")
+    return a, b
+
+__all__ = ["TreeNode", "HierarchicalTree", "IrregularTreeLevels", "build_tree",
+           "optimal_branching"]
+
+
+class IrregularTreeLevels(ValueError):
+    """Raised when a 2-D tree's levels are not axis-aligned grid products.
+
+    The vectorised 2-D usage counts require every level to be (a subset of)
+    the cross product of one interval partition per axis.  Trees built by
+    :class:`HierarchicalTree` satisfy this on regular domains; pathological
+    ragged domains (where siblings split different axes) may not, and callers
+    then fall back to the per-query recursion.
+    """
 
 
 @dataclass
@@ -52,12 +86,17 @@ class HierarchicalTree:
     """A b-ary hierarchy over a 1-D or 2-D domain.
 
     In 1-D each node splits its interval into at most ``branching`` equal
-    pieces.  In 2-D each node splits every axis into at most ``branching``
-    pieces (so a branching of 2 yields a quadtree).
+    pieces.  In 2-D the default (``split_axes=None``) splits every axis into
+    at most ``branching`` pieces per level (a branching of 2 yields a
+    quadtree); passing a cyclic axis schedule such as ``(0, 1)`` or ``(1, 0)``
+    instead splits one axis per level (a kd-style hierarchy whose levels are
+    marginal grids).  A scheduled axis that can no longer split falls back to
+    every splittable axis, so the tree always bottoms out at single cells.
     """
 
     def __init__(self, domain_shape: tuple[int, ...], branching: int = 2,
-                 max_height: int | None = None):
+                 max_height: int | None = None,
+                 split_axes: tuple[int, ...] | None = None):
         if branching < 2:
             raise ValueError("branching factor must be at least 2")
         self.domain_shape = tuple(int(d) for d in domain_shape)
@@ -65,11 +104,20 @@ class HierarchicalTree:
             raise ValueError("only 1-D and 2-D domains are supported")
         self.branching = int(branching)
         self.max_height = max_height
+        if split_axes is not None:
+            split_axes = tuple(int(a) for a in split_axes)
+            if not split_axes or any(a not in range(len(self.domain_shape))
+                                     for a in split_axes):
+                raise ValueError(
+                    f"split_axes must name axes of a {len(self.domain_shape)}-D "
+                    f"domain, got {split_axes}")
+        self.split_axes = split_axes
         self.nodes: list[TreeNode] = []
         self._build()
         self._bounds: tuple[np.ndarray, np.ndarray] | None = None
         self._levels_1d: list[dict] | None = None
         self._leaves_1d: dict | None = None
+        self._levels_2d: list[dict] | None = None
 
     # -- construction -------------------------------------------------------------
     def _build(self) -> None:
@@ -98,11 +146,22 @@ class HierarchicalTree:
                     next_frontier.append(child.index)
             frontier = next_frontier
 
+    def _axes_to_split(self, node: TreeNode) -> tuple[int, ...]:
+        """Axes the node refines: the scheduled axis for kd-style trees
+        (falling back to every axis when it is exhausted), all axes otherwise."""
+        if self.split_axes is None:
+            return tuple(range(len(self.domain_shape)))
+        axis = self.split_axes[node.level % len(self.split_axes)]
+        if node.hi[axis] > node.lo[axis]:
+            return (axis,)
+        return tuple(range(len(self.domain_shape)))
+
     def _split(self, node: TreeNode) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+        axes = self._axes_to_split(node)
         per_dim: list[list[tuple[int, int]]] = []
-        for a, b in zip(node.lo, node.hi):
+        for dim, (a, b) in enumerate(zip(node.lo, node.hi)):
             length = b - a + 1
-            if length == 1:
+            if length == 1 or dim not in axes:
                 per_dim.append([(a, b)])
                 continue
             pieces = min(self.branching, length)
@@ -196,12 +255,19 @@ class HierarchicalTree:
         """Number of nodes per level used by the canonical decomposition of
         every workload query.  Drives GreedyH's budget allocation.
 
-        In 1-D the counts are computed with vectorised rank queries over the
-        sorted per-level intervals — O((q + nodes) log nodes) instead of one
-        recursive decomposition per query; 2-D falls back to the recursion.
+        The counts are computed with vectorised rank queries —
+        O((q + nodes) log nodes) instead of one recursive decomposition per
+        query — over the sorted per-level interval tables in 1-D and the
+        per-level grid tables in 2-D; only 2-D trees with irregular levels
+        (:class:`IrregularTreeLevels`) fall back to the recursion.
         """
         if len(self.domain_shape) == 1:
             return self._level_usage_1d(workload)
+        try:
+            return self._subset_usage_2d(workload,
+                                         np.ones(self.n_levels, dtype=bool))
+        except IrregularTreeLevels:
+            pass
         usage = np.zeros(self.n_levels)
         for query in workload:
             for idx in self.decompose_range(query.lo, query.hi):
@@ -276,6 +342,131 @@ class HierarchicalTree:
             np.add.at(usage, leaves["levels"][j0[right_only] - 1], 1.0)
         return usage
 
+    # -- 2-D level grids -----------------------------------------------------------
+    @staticmethod
+    def _axis_intervals(lo: np.ndarray, hi: np.ndarray):
+        """Distinct sorted intervals of one axis of a level.
+
+        Raises :class:`IrregularTreeLevels` unless the intervals are pairwise
+        disjoint-or-equal — the laminar per-axis structure the grid tables
+        rely on.
+        """
+        starts, first = np.unique(lo, return_index=True)
+        ends = hi[first]
+        if not np.array_equal(hi, ends[np.searchsorted(starts, lo)]):
+            raise IrregularTreeLevels(
+                "intervals with equal starts but different ends within a level")
+        if np.any(starts[1:] <= ends[:-1]):
+            raise IrregularTreeLevels("overlapping axis intervals within a level")
+        return starts, ends
+
+    def _level_tables_2d(self) -> list[dict]:
+        """Per-level grid tables for vectorised 2-D usage counts (cached).
+
+        Each level of a regular 2-D tree is a subset of the cross product of
+        one sorted interval partition per axis; the table holds the two axis
+        partitions plus 2-D prefix-sum counts of the existing nodes (and of
+        the leaves among them), so the number of nodes inside any rectangle
+        of grid positions is an O(1) lookup.  Raises
+        :class:`IrregularTreeLevels` when the product structure does not hold
+        (callers fall back to the per-query recursion).
+        """
+        if len(self.domain_shape) != 2:
+            raise ValueError("2-D level tables require a 2-D domain")
+        if self._levels_2d is None:
+            try:
+                self._levels_2d = self._build_level_tables_2d()
+            except IrregularTreeLevels as exc:
+                self._levels_2d = exc
+        if isinstance(self._levels_2d, IrregularTreeLevels):
+            raise self._levels_2d
+        return self._levels_2d
+
+    def _build_level_tables_2d(self) -> list[dict]:
+        tables = []
+        for level_nodes in self.levels():
+            lo = np.array([n.lo for n in level_nodes], dtype=np.intp)
+            hi = np.array([n.hi for n in level_nodes], dtype=np.intp)
+            is_leaf = np.array([not n.children for n in level_nodes], dtype=bool)
+            starts0, ends0 = self._axis_intervals(lo[:, 0], hi[:, 0])
+            starts1, ends1 = self._axis_intervals(lo[:, 1], hi[:, 1])
+            rows = np.searchsorted(starts0, lo[:, 0])
+            cols = np.searchsorted(starts1, lo[:, 1])
+            if np.unique(rows * starts1.size + cols).size != rows.size:
+                raise IrregularTreeLevels("two nodes share a level-grid cell")
+            exists = np.zeros((starts0.size, starts1.size), dtype=np.intp)
+            exists[rows, cols] = 1
+            count = np.zeros((starts0.size + 1, starts1.size + 1), dtype=np.intp)
+            count[1:, 1:] = exists.cumsum(axis=0).cumsum(axis=1)
+            leaf_count = None
+            if is_leaf.any():
+                leaves = np.zeros_like(exists)
+                leaves[rows[is_leaf], cols[is_leaf]] = 1
+                leaf_count = np.zeros_like(count)
+                leaf_count[1:, 1:] = leaves.cumsum(axis=0).cumsum(axis=1)
+            tables.append({"starts0": starts0, "ends0": ends0,
+                           "starts1": starts1, "ends1": ends1,
+                           "count": count, "leaf_count": leaf_count})
+        return tables
+
+    def _subset_usage_2d(self, workload, measured: np.ndarray) -> np.ndarray:
+        """2-D analogue of the 1-D subset usage: per-level counts of the
+        nodes used by the canonical decomposition of every workload rectangle
+        when only the ``measured`` levels exist.
+
+        A node at a measured level is used iff it lies inside the rectangle
+        while its ancestor at the previous measured level does not; per level
+        the inside nodes occupy a rectangle of grid positions (one contiguous
+        interval run per axis), counted through the prefix tables, and the
+        ancestor-inside nodes occupy the grid rectangle spanned by the
+        previous run's descendants.  Partially overlapping leaves (aggregated
+        leaves at the rectangle boundary) count once each: leaves
+        intersecting minus leaves inside.  Callers must keep every leaf level
+        measured.  O((q + nodes) log nodes) total, no per-query recursion.
+        """
+        tables = self._level_tables_2d()
+        los = np.array([q.lo for q in workload], dtype=np.intp)
+        his = np.array([q.hi for q in workload], dtype=np.intp)
+        qlo0, qlo1 = los[:, 0], los[:, 1]
+        qhi0, qhi1 = his[:, 0], his[:, 1]
+        usage = np.zeros(self.n_levels)
+
+        prev = None
+        for level, table in enumerate(tables):
+            if not measured[level]:
+                continue
+            i0 = np.searchsorted(table["starts0"], qlo0, side="left")
+            j0 = np.searchsorted(table["ends0"], qhi0, side="right")
+            i1 = np.searchsorted(table["starts1"], qlo1, side="left")
+            j1 = np.searchsorted(table["ends1"], qhi1, side="right")
+            inside = _grid_count(table["count"], i0, j0, i1, j1)
+            covered = 0
+            if prev is not None:
+                pi0, pj0, pi1, pj1, ptable = prev
+                valid = (pj0 > pi0) & (pj1 > pi1)
+                a0, b0 = _descendant_run(ptable["starts0"], ptable["ends0"],
+                                         pi0, pj0,
+                                         table["starts0"], table["ends0"])
+                a1, b1 = _descendant_run(ptable["starts1"], ptable["ends1"],
+                                         pi1, pj1,
+                                         table["starts1"], table["ends1"])
+                covered = np.where(
+                    valid, _grid_count(table["count"], a0, b0, a1, b1), 0)
+            usage[level] = float(np.sum(inside - covered))
+            if table["leaf_count"] is not None:
+                # Partial-overlap leaves: intersecting but not inside.  Their
+                # ancestors are never inside (an inside ancestor would make
+                # the leaf inside), so they are used unconditionally.
+                ii0 = np.searchsorted(table["ends0"], qlo0, side="left")
+                jj0 = np.searchsorted(table["starts0"], qhi0, side="right")
+                ii1 = np.searchsorted(table["ends1"], qlo1, side="left")
+                jj1 = np.searchsorted(table["starts1"], qhi1, side="right")
+                intersecting = _grid_count(table["leaf_count"], ii0, jj0, ii1, jj1)
+                inside_leaves = _grid_count(table["leaf_count"], i0, j0, i1, j1)
+                usage[level] += float(np.sum(intersecting - inside_leaves))
+            prev = (i0, j0, i1, j1, table)
+        return usage
+
 
 def optimal_branching(n: int, max_branching: int = 16) -> int:
     """Branching factor used by Hb: minimise the average variance proxy
@@ -294,6 +485,8 @@ def optimal_branching(n: int, max_branching: int = 16) -> int:
 
 
 def build_tree(domain_shape: tuple[int, ...], branching: int = 2,
-               max_height: int | None = None) -> HierarchicalTree:
+               max_height: int | None = None,
+               split_axes: tuple[int, ...] | None = None) -> HierarchicalTree:
     """Convenience constructor for :class:`HierarchicalTree`."""
-    return HierarchicalTree(domain_shape, branching=branching, max_height=max_height)
+    return HierarchicalTree(domain_shape, branching=branching,
+                            max_height=max_height, split_axes=split_axes)

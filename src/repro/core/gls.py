@@ -49,7 +49,17 @@ def _solve_tree(measurements: MeasurementSet) -> np.ndarray:
         indices = np.array([node.index for node in leaves], dtype=np.intp)
         sizes = np.array([node.size for node in leaves], dtype=np.intp)
         return np.repeat(consistent[indices] / sizes, sizes)
+    indices = np.array([node.index for node in leaves], dtype=np.intp)
+    sizes = np.array([node.size for node in leaves], dtype=np.intp)
     estimate = np.zeros(tree.domain_shape)
+    if np.all(sizes == 1):
+        # Vectorised 2-D expansion for cell-leaf trees (full quadtrees, the
+        # native 2-D selection strategies): one scatter instead of one slice
+        # assignment per leaf.  Division by the all-ones sizes is exact, so
+        # this is bitwise-identical to the historical per-leaf loop.
+        los, _ = tree.node_bounds()
+        estimate[los[indices, 0], los[indices, 1]] = consistent[indices] / sizes
+        return estimate
     for node in leaves:
         estimate[node.slices()] = consistent[node.index] / node.size
     return estimate

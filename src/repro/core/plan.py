@@ -72,7 +72,10 @@ class MeasurementPlan:
         When the queries are exactly the nodes of a
         :class:`~repro.algorithms.tree.HierarchicalTree` over the measurement
         domain (node-index order), the tree — unlocking the exact two-pass
-        GLS fast path.
+        GLS fast path.  The tree may be 1-D or 2-D (quadtree- and kd-style
+        plans tag their 2-D trees directly, no flattening ``ordering``
+        needed); a tag whose node count disagrees with the query rows is
+        rejected up front.
     ordering:
         Optional permutation of the flattened cells applied *before* anything
         else (Hilbert flattening, AHP's sort-by-noisy-value).  The
@@ -133,6 +136,10 @@ class MeasurementPlan:
                     "the noise stage")
         if self.partition is not None:
             self.partition = np.asarray(self.partition, dtype=np.intp)
+        if self.tree is not None and len(self.tree.nodes) != q:
+            raise ValueError(
+                f"tree-tagged plan needs one query per tree node: "
+                f"{len(self.tree.nodes)} nodes, {q} queries")
 
     # -- derived views ------------------------------------------------------------
     @property

@@ -43,13 +43,17 @@ class TuningResult:
 
         The lookup key is the epsilon-scale product (scale-epsilon
         exchangeability makes this the right notion of signal strength); the
-        nearest trained product is used.
+        nearest trained product is used.  Both sides of the log-distance are
+        clamped away from zero: an unclamped zero trained product would turn
+        into ``-inf`` and poison every lookup with ``nan`` distances.
         """
         if not self.best_by_product:
             raise ValueError("tuner has not been trained")
         product_value = epsilon * scale
         products = np.array(sorted(self.best_by_product))
-        nearest = products[np.argmin(np.abs(np.log(products) - np.log(max(product_value, 1e-12))))]
+        log_products = np.log(np.maximum(products, 1e-12))
+        nearest = products[np.argmin(np.abs(log_products
+                                            - np.log(max(product_value, 1e-12))))]
         return dict(self.best_by_product[float(nearest)])
 
 

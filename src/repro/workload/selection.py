@@ -6,9 +6,11 @@ target workload ``W`` with minimal expected variance.  This module implements
 a greedy, data-independent selection over hierarchical candidate strategies:
 
 * **candidates** are b-ary hierarchies over the domain for a small set of
-  branching factors, each refined by greedily *dropping* internal levels —
-  a dropped level is left unmeasured and every workload query that used its
-  nodes re-decomposes onto the nearest measured descendants;
+  branching factors — in 2-D the b x b quadtree-style trees plus kd-style
+  marginal-grid hierarchies that split one axis per level — each refined by
+  greedily *dropping* internal levels: a dropped level is left unmeasured and
+  every workload query that used its nodes re-decomposes onto the nearest
+  measured descendants;
 * **scoring** is the expected workload variance of a candidate under the
   canonical-decomposition error model with the cube-root-optimal per-level
   budget allocation (the same model GreedyH's allocation minimises): with
@@ -19,9 +21,11 @@ a greedy, data-independent selection over hierarchical candidate strategies:
   it); the tests cross-check the ranking against the exact dense GLS
   covariance on small domains.
 
-Everything is computed through the sorted per-level interval tables of
+Everything is computed through the sorted per-level interval tables (1-D) or
+per-level grid tables (2-D) of
 :class:`~repro.algorithms.tree.HierarchicalTree` — vectorised rank queries,
-no dense strategy or workload matrices.
+no dense strategy or workload matrices, and in 2-D no lossy Hilbert-span
+detour: the true rectangle workload is scored natively.
 
 The result plugs straight into the plan pipeline: ``GreedyW``
 (:mod:`repro.algorithms.greedy_w`) wraps :func:`greedy_tree_strategy` as a
@@ -35,35 +39,72 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..algorithms.tree import HierarchicalTree
+from ..algorithms.tree import HierarchicalTree, IrregularTreeLevels
 
-__all__ = ["TreeStrategy", "subset_level_usage", "predicted_workload_variance",
+__all__ = ["TreeStrategy", "candidate_trees", "subset_level_usage",
+           "subset_usage_reference", "predicted_workload_variance",
            "greedy_tree_strategy"]
+
+
+def subset_usage_reference(tree: HierarchicalTree, workload,
+                           measured: np.ndarray) -> np.ndarray:
+    """Per-query recursive reference for :func:`subset_level_usage`.
+
+    Walks the canonical decomposition over the measured levels only: a node
+    at a measured level is taken when inside the query (or when it is a
+    partially overlapping leaf); any other intersecting node recurses into
+    its children.  Exact for every tree shape — the executable specification
+    the vectorised rank-query paths are tested against, and the fallback for
+    trees whose 2-D levels are not grid products.
+    """
+    measured = np.asarray(measured, dtype=bool)
+    usage = np.zeros(tree.n_levels)
+    for query in workload:
+        stack = [0]
+        while stack:
+            node = tree.nodes[stack.pop()]
+            if any(nhi < qlo or nlo > qhi
+                   for nlo, nhi, qlo, qhi in zip(node.lo, node.hi,
+                                                 query.lo, query.hi)):
+                continue
+            inside = all(qlo <= nlo and nhi <= qhi
+                         for nlo, nhi, qlo, qhi in zip(node.lo, node.hi,
+                                                       query.lo, query.hi))
+            if measured[node.level] and (inside or node.is_leaf):
+                usage[node.level] += 1
+            else:
+                stack.extend(node.children)
+    return usage
 
 
 def subset_level_usage(tree: HierarchicalTree, workload,
                        measured: np.ndarray) -> np.ndarray:
     """Per-level usage counts when only a subset of levels is measured.
 
-    Generalises :meth:`HierarchicalTree.level_usage` (1-D only): a node at a
-    measured level is used by a query iff it lies inside the query and its
-    nearest measured proper ancestor does not (by laminarity, that ancestor
-    is at the *previous* measured level).  Unmeasured levels report zero.
-    Partially overlapping leaves at the query ends count as in the full
+    Generalises :meth:`HierarchicalTree.level_usage`: a node at a measured
+    level is used by a query iff it lies inside the query and its nearest
+    measured proper ancestor does not (by laminarity, that ancestor is at
+    the *previous* measured level).  Unmeasured levels report zero.
+    Partially overlapping leaves at the query boundary count as in the full
     decomposition; every leaf level must be measured, otherwise cells would
     be unidentifiable.
 
     Vectorised over the workload via rank queries on the sorted per-level
-    interval tables — O((q + nodes) log nodes), no per-query recursion.
+    interval tables (1-D) or the per-level grid tables (2-D) —
+    O((q + nodes) log nodes), no per-query recursion.  2-D trees whose
+    levels are not grid products fall back to the exact recursion.
     """
-    if len(tree.domain_shape) != 1:
-        raise ValueError("subset usage is 1-D only")
     measured = np.asarray(measured, dtype=bool)
     if measured.shape != (tree.n_levels,):
         raise ValueError("need one measured flag per tree level")
     leaf_levels = {node.level for node in tree.leaves()}
     if not all(measured[level] for level in leaf_levels):
         raise ValueError("every leaf level must be measured")
+    if len(tree.domain_shape) == 2:
+        try:
+            return tree._subset_usage_2d(workload, measured)
+        except IrregularTreeLevels:
+            return subset_usage_reference(tree, workload, measured)
 
     tables, leaves = tree._level_tables_1d()
     los = np.array([q.lo[0] for q in workload], dtype=np.intp)
@@ -139,47 +180,73 @@ class TreeStrategy:
     score: float
 
 
+def _greedy_prune(tree: HierarchicalTree, workload) -> TreeStrategy:
+    """Greedily drop internal levels of one candidate tree: repeatedly remove
+    the level whose removal most reduces the predicted variance (re-deriving
+    the usage counts of the remaining levels, since dropped nodes re-route
+    queries to their descendants), until no single drop helps."""
+    leaf_levels = {node.level for node in tree.leaves()}
+    measured = np.ones(tree.n_levels, dtype=bool)
+    usage = subset_level_usage(tree, workload, measured)
+    score = predicted_workload_variance(usage)
+    while True:
+        best_drop = None
+        for level in range(tree.n_levels):
+            if not measured[level] or level in leaf_levels:
+                continue
+            trial = measured.copy()
+            trial[level] = False
+            trial_usage = subset_level_usage(tree, workload, trial)
+            trial_score = predicted_workload_variance(trial_usage)
+            if trial_score < score and (
+                    best_drop is None or trial_score < best_drop[0]):
+                best_drop = (trial_score, level, trial, trial_usage)
+        if best_drop is None:
+            break
+        score, _, measured, usage = best_drop
+    return TreeStrategy(tree=tree, measured=measured, usage=usage, score=score)
+
+
+def candidate_trees(domain_shape: tuple[int, ...],
+                    branchings: tuple[int, ...]) -> list[HierarchicalTree]:
+    """The candidate hierarchies the greedy selection scores.
+
+    1-D: one b-ary tree per branching factor.  2-D: the b x b trees
+    (quadtree-style, every axis split per level) for every branching factor,
+    plus the two kd-style marginal-grid hierarchies (one axis split per
+    level, alternating, starting from either axis) which offer finer-grained
+    levels to prune.
+    """
+    if not branchings:
+        raise ValueError("need at least one candidate branching factor")
+    trees = [HierarchicalTree(domain_shape, branching=int(b))
+             for b in branchings]
+    if len(domain_shape) == 2:
+        trees += [HierarchicalTree(domain_shape, branching=2, split_axes=axes)
+                  for axes in ((0, 1), (1, 0))]
+    return trees
+
+
 def greedy_tree_strategy(
-    domain_size: int,
+    domain: int | tuple[int, ...],
     workload,
     branchings: tuple[int, ...] = (2, 4, 8, 16),
 ) -> TreeStrategy:
     """Greedily select the hierarchical strategy with the lowest predicted
     workload variance.
 
-    For every candidate branching factor, start from the full hierarchy and
-    repeatedly drop the internal level whose removal most reduces the
-    predicted variance (re-deriving the usage counts of the remaining levels,
-    since dropped nodes re-route queries to their descendants), until no
-    single drop helps; the best candidate across branchings wins.  Ties keep
-    the earlier (smaller-branching) candidate, so the search is
-    deterministic.
+    ``domain`` is the domain size (1-D) or shape (1-D or 2-D).  Every
+    candidate hierarchy (:func:`candidate_trees`) is pruned level by level
+    (:func:`_greedy_prune`) and the best pruned candidate wins.  Ties keep
+    the earlier candidate, so the search is deterministic.  In 2-D the
+    workload's rectangles are scored natively on the candidate trees' grid
+    tables — no Hilbert flattening, no dense matrices.
     """
-    if not branchings:
-        raise ValueError("need at least one candidate branching factor")
+    domain_shape = (int(domain),) if np.isscalar(domain) \
+        else tuple(int(d) for d in domain)
     best: TreeStrategy | None = None
-    for branching in branchings:
-        tree = HierarchicalTree((int(domain_size),), branching=int(branching))
-        leaf_levels = {node.level for node in tree.leaves()}
-        measured = np.ones(tree.n_levels, dtype=bool)
-        usage = subset_level_usage(tree, workload, measured)
-        score = predicted_workload_variance(usage)
-        while True:
-            best_drop = None
-            for level in range(tree.n_levels):
-                if not measured[level] or level in leaf_levels:
-                    continue
-                trial = measured.copy()
-                trial[level] = False
-                trial_usage = subset_level_usage(tree, workload, trial)
-                trial_score = predicted_workload_variance(trial_usage)
-                if trial_score < score and (
-                        best_drop is None or trial_score < best_drop[0]):
-                    best_drop = (trial_score, level, trial, trial_usage)
-            if best_drop is None:
-                break
-            score, _, measured, usage = best_drop
-        if best is None or score < best.score:
-            best = TreeStrategy(tree=tree, measured=measured, usage=usage,
-                                score=score)
+    for tree in candidate_trees(domain_shape, branchings):
+        strategy = _greedy_prune(tree, workload)
+        if best is None or strategy.score < best.score:
+            best = strategy
     return best

@@ -1,0 +1,55 @@
+"""Capture the registry-wide golden outputs pinned by
+``tests/test_registry_workloads.py::TestRegistryGoldenPins``.
+
+One fixed (data, workload, epsilon, seed) setting per dimensionality, every
+registered algorithm that supports it.  Re-run this script ONLY when a PR
+deliberately changes an algorithm's output (and say so in the pin test's
+docstring); the whole point of the file is that everything else stays
+bitwise-identical across refactors.
+
+    PYTHONPATH=src python tests/golden/capture_registry_outputs.py
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+import repro
+from repro import ALGORITHM_REGISTRY
+
+OUT = Path(__file__).parent / "registry_outputs.npz"
+
+SEED_1D, SEED_2D = 1042, 1043
+EPS_1D, EPS_2D = 0.1, 0.5
+
+
+def settings_1d():
+    rng = np.random.default_rng(2016)
+    x = rng.multinomial(20_000, rng.dirichlet(np.ones(256))).astype(float)
+    return x, repro.prefix_workload(256)
+
+
+def settings_2d():
+    rng = np.random.default_rng(2017)
+    x = rng.multinomial(50_000, rng.dirichlet(np.ones(256))).astype(float)
+    return x.reshape(16, 16), repro.random_range_workload((16, 16), 200, rng=5)
+
+
+def main() -> None:
+    arrays = {}
+    x1, w1 = settings_1d()
+    x2, w2 = settings_2d()
+    arrays["x1"], arrays["x2"] = x1, x2
+    for name, cls in sorted(ALGORITHM_REGISTRY.items()):
+        if 1 in cls.properties.supported_dims:
+            arrays[f"{name}_1d"] = repro.make_algorithm(name).run(
+                x1, EPS_1D, workload=w1, rng=SEED_1D)
+        if 2 in cls.properties.supported_dims:
+            arrays[f"{name}_2d"] = repro.make_algorithm(name).run(
+                x2, EPS_2D, workload=w2, rng=SEED_2D)
+    np.savez_compressed(OUT, **arrays)
+    print(f"wrote {OUT} ({len(arrays)} arrays)")
+
+
+if __name__ == "__main__":
+    main()

@@ -334,6 +334,20 @@ class TestParameterTuner:
         with pytest.raises(ValueError):
             empty.parameters_for(0.1, 1000)
 
+    def test_zero_trained_product_does_not_poison_lookup(self):
+        """Regression: an (accidentally) zero trained epsilon-scale product
+        used to turn into log(0) = -inf, making every lookup distance nan and
+        argmin latch onto the degenerate entry.  The trained side is clamped
+        like the query side, so finite products still win the lookup."""
+        from repro.core.tuning import TuningResult
+        result = TuningResult(algorithm="MWEM", parameter_grid={"rounds": [2, 40]})
+        result.best_by_product = {0.0: {"rounds": 2}, 100.0: {"rounds": 40}}
+        with np.errstate(all="raise"):        # no log(0) warnings either
+            assert result.parameters_for(1.0, 100.0) == {"rounds": 40}
+            assert result.parameters_for(1.0, 5000.0) == {"rounds": 40}
+            # the degenerate entry stays reachable for near-zero queries
+            assert result.parameters_for(1e-9, 1e-9) == {"rounds": 2}
+
     def test_tuned_factory_builds_algorithm(self):
         tuner = ParameterTuner("MWEM", {"rounds": [3, 9]}, domain_size=32)
         result = tuner.train([1000.0], epsilon=0.1, n_trials=1, rng=1)

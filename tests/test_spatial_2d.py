@@ -3,6 +3,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro import (
     AGrid,
@@ -50,6 +52,32 @@ class TestGridEdges:
 
     def test_single_piece(self):
         assert list(_grid_edges(7, 1)) == [0, 7]
+
+    @given(length=st.integers(1, 5000), pieces=st.integers(1, 5000))
+    @settings(max_examples=200, deadline=None)
+    def test_widths_differ_by_at_most_one(self, length, pieces):
+        """Property (grid-edges bugfix): integer-arithmetic edges partition
+        the domain into blocks whose widths differ by at most one."""
+        edges = _grid_edges(length, pieces)
+        widths = np.diff(edges)
+        assert edges[0] == 0 and edges[-1] == length
+        assert np.all(widths >= 1)
+        assert widths.max() - widths.min() <= 1
+
+    def test_balanced_where_linspace_truncation_drifted(self):
+        """Regression: ``np.linspace(0, 30, 23).astype(int)`` truncates the
+        float intermediates and drifts off the balanced grid (its eleventh
+        edge lands on 14 instead of 15); the exact integer edges match
+        ``floor(i * length / pieces)`` everywhere.
+
+        The UGrid/AGrid golden pins in ``test_registry_workloads.py`` were
+        checked against a pre-fix capture: at the goldens' 16x16 setting the
+        old and new edges coincide, so those outputs are bitwise-unchanged.
+        """
+        edges = _grid_edges(30, 22)
+        expected = np.arange(23) * 30 // 22
+        assert np.array_equal(edges, expected)
+        assert edges[11] == 15
 
 
 class TestUGrid:

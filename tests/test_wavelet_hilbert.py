@@ -133,3 +133,92 @@ class TestFlattenWorkload:
         _, ordering = flatten_2d(np.zeros((8, 8)))
         flat = flatten_workload(workload, ordering, (8, 8))
         assert flat[0].lo == (0,) and flat[0].hi == (63,)
+
+
+class TestHilbertOrderVectorised:
+    """Satellite pin: the vectorised curve builder is bitwise-identical to
+    the historical pure-Python ``_d2xy`` loop."""
+
+    @pytest.mark.parametrize("side", [1, 2, 4, 8, 16, 32, 64, 128])
+    def test_bitwise_identical_to_reference(self, side):
+        from repro.algorithms.hilbert import hilbert_order_reference
+
+        fast = hilbert_order(side)
+        reference = hilbert_order_reference(side)
+        assert fast.dtype == reference.dtype
+        assert fast.tobytes() == reference.tobytes()
+
+    def test_reference_rejects_non_power_of_two(self):
+        from repro.algorithms.hilbert import hilbert_order_reference
+
+        with pytest.raises(ValueError):
+            hilbert_order_reference(6)
+
+
+class TestRectangleSpansVectorised:
+    """Satellite regression: the boundary-run span computation matches the
+    slice-based reference on random rectangle workloads."""
+
+    def _position_table(self, shape, ordering):
+        position = np.empty(shape[0] * shape[1], dtype=np.intp)
+        position[ordering] = np.arange(shape[0] * shape[1], dtype=np.intp)
+        return position.reshape(shape)
+
+    @pytest.mark.parametrize("shape", [(16, 16), (32, 32), (13, 7), (1, 9),
+                                       (9, 1)])
+    def test_matches_reference_on_supported_orderings(self, shape):
+        from repro.algorithms.hilbert import (
+            _rectangle_spans,
+            _rectangle_spans_reference,
+            hilbert_ordering_for,
+        )
+        from repro.workload import random_range_workload
+
+        ordering = hilbert_ordering_for(shape)      # Hilbert or row-major
+        table = self._position_table(shape, ordering)
+        workload = random_range_workload(shape, 300, rng=6)
+        los, his = workload.operator.los, workload.operator.his
+        fast = _rectangle_spans(table, los, his)
+        reference = _rectangle_spans_reference(table, los, his)
+        np.testing.assert_array_equal(fast[0], reference[0])
+        np.testing.assert_array_equal(fast[1], reference[1])
+
+    def test_arbitrary_ordering_falls_back_to_reference(self):
+        """A scrambled ordering is neither curve-continuous nor row-major:
+        boundary extrema would be wrong, so the exact reference path runs."""
+        from repro.algorithms.hilbert import (
+            _rectangle_spans,
+            _rectangle_spans_reference,
+        )
+        from repro.workload import random_range_workload
+
+        shape = (12, 9)
+        ordering = np.random.default_rng(5).permutation(108)
+        table = self._position_table(shape, ordering)
+        workload = random_range_workload(shape, 150, rng=7)
+        los, his = workload.operator.los, workload.operator.his
+        fast = _rectangle_spans(table, los, his)
+        reference = _rectangle_spans_reference(table, los, his)
+        np.testing.assert_array_equal(fast[0], reference[0])
+        np.testing.assert_array_equal(fast[1], reference[1])
+
+    def test_curve_endpoints_inside_interior(self):
+        """The curve's start/end may realise the extremum strictly inside a
+        rectangle; the endpoint correction catches both."""
+        from repro.algorithms.hilbert import _rectangle_spans, hilbert_order
+        from repro.workload import RangeQuery, Workload
+
+        side = 8
+        table = self._position_table((side, side), hilbert_order(side))
+        start = np.argwhere(table == 0)[0]
+        end = np.argwhere(table == side * side - 1)[0]
+        queries = []
+        for r, c in (start, end):
+            lo = (max(int(r) - 1, 0), max(int(c) - 1, 0))
+            hi = (min(int(r) + 1, side - 1), min(int(c) + 1, side - 1))
+            queries.append(RangeQuery(lo, hi))
+        workload = Workload(queries, (side, side))
+        los, his = workload.operator.los, workload.operator.his
+        span_lo, span_hi = _rectangle_spans(table, los, his)
+        assert span_lo[0] == 0
+        assert span_hi[1] == side * side - 1
