@@ -1,0 +1,144 @@
+"""Throughput bench for the online release service (repro.serve).
+
+One 1024 x 1024 release is published once; the service then answers one
+million uniformly random in-bounds rectangles through each query path:
+
+* **batch** — one ``query_batch`` call riding ``QueryMatrix.matvec`` against
+  the precomputed prefix-sum cube (the bulk-client path);
+* **batch, cached** — the same request again, served from the keyed result
+  cache;
+* **point** — per-rectangle ``query`` calls (O(2^d) table lookups each, plus
+  cache bookkeeping), on a subset sized so the bench stays fast;
+* **point, cached** — the same subset again, all cache hits.
+
+Correctness is asserted the hard way before any timing is trusted: the batch
+answers over the full million rectangles must agree **bitwise** with
+``QueryMatrix.matvec`` of the released histogram, and the point path must
+agree bitwise on its subset.
+
+The CI gate is the queries/sec floor on the batch paths (the serving layer's
+reason to exist); the point path gets a soft floor two orders of magnitude
+lower, since it pays Python per-call overhead by design.
+
+Run with ``python -m pytest benchmarks/bench_serve_throughput.py -q``.
+``DPBENCH_SMOKE=1`` shrinks only the point-path subset; the 1M-rectangle
+batch agreement check and its gated floor always run at full size.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from _shared import format_table, report, run_once
+from repro import QueryMatrix
+from repro.serve import ReleaseService
+
+SMOKE = os.environ.get("DPBENCH_SMOKE", "0") not in ("", "0")
+
+SIDE = 1024
+N_RECTANGLES = 1_000_000
+N_POINT = 20_000 if SMOKE else 100_000
+
+#: CI-gated floors, queries/sec.  The batch path sustains tens of millions of
+#: rectangles/sec on commodity hardware; 1M/s leaves an order-of-magnitude
+#: margin for slow CI runners while still guaranteeing "a million-user
+#: rectangle stream is one core-second".
+BATCH_FLOOR = 1_000_000
+CACHED_FLOOR = 1_000_000
+POINT_FLOOR = 10_000
+
+
+def _time(fn, repeats: int = 3) -> tuple[float, object]:
+    best, result = float("inf"), None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_serve_throughput(benchmark):
+    def study():
+        rng = np.random.default_rng(20160626)
+        x = rng.integers(0, 50, (SIDE, SIDE)).astype(float)
+
+        # Cache sized to the point-path working set, so the cached-point
+        # timing is a genuine all-hits pass rather than an LRU thrash.
+        service = ReleaseService("Identity", epsilon=1.0, cache_size=2 * N_POINT)
+        t_release, release = _time(lambda: service.release(x, rng=7), repeats=1)
+
+        a = rng.integers(0, SIDE, (N_RECTANGLES, 2))
+        b = rng.integers(0, SIDE, (N_RECTANGLES, 2))
+        los, his = np.minimum(a, b), np.maximum(a, b)
+
+        # Bitwise-exact agreement with QueryMatrix.matvec of the released
+        # histogram over the full million rectangles, before any timing.
+        reference = QueryMatrix(los, his, (SIDE, SIDE)).matvec(release.histogram)
+        assert service.query_batch(los, his).tobytes() == reference.tobytes(), \
+            "serve batch answers diverged from QueryMatrix.matvec"
+
+        # Uncached batch path: invalidate between repeats so every run pays
+        # the full QueryMatrix + prefix-lookup cost.
+        def batch_uncached():
+            service.invalidate_cache()
+            return service.query_batch(los, his)
+
+        t_batch, _ = _time(batch_uncached)
+        service.query_batch(los, his)                      # prime the cache
+        t_cached, cached_answers = _time(lambda: service.query_batch(los, his))
+        assert cached_answers.tobytes() == reference.tobytes()
+
+        # Point path on a subset: per-query prefix lookups + cache misses,
+        # then the same subset again as pure cache hits.
+        subset = slice(0, N_POINT)
+        point_queries = list(zip(map(tuple, los[subset]), map(tuple, his[subset])))
+        service.invalidate_cache()
+
+        def point_uncached():
+            return [service.query(lo, hi) for lo, hi in point_queries]
+
+        t_point, point_answers = _time(point_uncached, repeats=1)
+        assert np.asarray(point_answers).tobytes() == \
+            reference[subset].tobytes(), \
+            "serve point answers diverged from QueryMatrix.matvec"
+        t_point_hit, hit_answers = _time(point_uncached)   # now all cache hits
+        assert np.asarray(hit_answers).tobytes() == reference[subset].tobytes()
+
+        stats = service.stats()
+        rows = [
+            {"path": f"release (Identity, {SIDE}x{SIDE})", "queries": 1,
+             "seconds": t_release, "qps": float("nan")},
+            {"path": f"batch matvec ({N_RECTANGLES} rects)",
+             "queries": N_RECTANGLES, "seconds": t_batch,
+             "qps": N_RECTANGLES / t_batch},
+            {"path": f"batch cached ({N_RECTANGLES} rects)",
+             "queries": N_RECTANGLES, "seconds": t_cached,
+             "qps": N_RECTANGLES / t_cached},
+            {"path": f"point uncached ({N_POINT} rects)", "queries": N_POINT,
+             "seconds": t_point, "qps": N_POINT / t_point},
+            {"path": f"point cached ({N_POINT} rects)", "queries": N_POINT,
+             "seconds": t_point_hit, "qps": N_POINT / t_point_hit},
+        ]
+        return rows, (N_RECTANGLES / t_batch, N_RECTANGLES / t_cached,
+                      N_POINT / t_point, stats)
+
+    rows, (batch_qps, cached_qps, point_qps, stats) = run_once(benchmark, study)
+    cache = stats["cache"]
+    summary = (f"cache: {cache['hits']} hits / {cache['lookups']} lookups "
+               f"(hit rate {cache['hit_rate']:.1%}), "
+               f"{cache['evictions']} evictions, "
+               f"{cache['invalidations']} invalidations; "
+               f"service answered {stats['queries']} queries")
+    report("bench_serve_throughput",
+           f"Online release service throughput ({SIDE}x{SIDE} release, "
+           f"1M random rectangles, bitwise-exact vs QueryMatrix.matvec)",
+           format_table(rows, floatfmt="{:,.4f}") + "\n\n" + summary)
+    assert batch_qps >= BATCH_FLOOR, \
+        f"batch path only {batch_qps:,.0f} rectangles/sec (floor {BATCH_FLOOR:,})"
+    assert cached_qps >= CACHED_FLOOR, \
+        f"cached batch path only {cached_qps:,.0f} rectangles/sec (floor {CACHED_FLOOR:,})"
+    assert point_qps >= POINT_FLOOR, \
+        f"point path only {point_qps:,.0f} rectangles/sec (floor {POINT_FLOOR:,})"

@@ -231,6 +231,38 @@ def main() -> None:
         truth_2d, workload_2d.evaluate(greedy_w_2d), spatial.scale)
     print(f"GreedyW (native 2-D selection) error: {error_w2d:.3e}")
 
+    # 10. Serve the release online.  A DP release is post-processing-free:
+    #     once the algorithm has spent its epsilon, any number of range
+    #     queries can be answered from the reconstruction forever at zero
+    #     additional privacy cost.  repro.serve packages that as a long-lived
+    #     service: run the algorithm once, precompute the prefix-sum cube
+    #     (every query is O(2^d) table lookups), answer bulk clients through
+    #     the QueryMatrix.matvec batch path, and front both with a keyed
+    #     TTL + LRU result cache that is invalidated on re-release.
+    from repro.serve import ReleaseService
+
+    service = ReleaseService("DAWA", epsilon=epsilon, workload=workload,
+                             cache_size=4096, ttl=3600.0)
+    release = service.release(dataset.counts, rng=8)   # the only eps-spending call
+    meta = release.metadata
+    print(f"\nserving release v{release.version}: {meta.algorithm} at "
+          f"eps={meta.epsilon} (spent {meta.epsilon_spent:.3f}, "
+          f"{meta.n_measurements} noisy measurements)")
+    print(f"single range [100, 200]:  {service.query(100, 200):.1f}")
+    print(f"same query (cache hit):   {service.query(100, 200):.1f}")
+    los = np.array([0, 256, 512, 768])
+    his = np.array([255, 511, 767, 1023])
+    print(f"batched quartile totals:  {np.round(service.query_batch(los, his), 1)}")
+    stats = service.stats()
+    print(f"stats: {stats['queries']} queries at {stats['qps']:.0f} qps, "
+          f"cache hit rate {stats['cache']['hit_rate']:.0%}")
+    #     Re-releasing (new data or fresh noise) bumps the version and
+    #     invalidates every cached answer — queries transparently switch to
+    #     the new histogram.
+    service.release(dataset.counts, rng=9)
+    print(f"after re-release (v{service.version}), same range: "
+          f"{service.query(100, 200):.1f}")
+
 
 def _noisy_tree_measurements(x, tree, epsilon):
     """Hand-rolled node measurements for the quickstart's section 6."""

@@ -36,7 +36,9 @@ from .core import (
     DPBench,
     ExperimentSetting,
     Job,
+    MeasurementPlan,
     MeasurementSet,
+    ReleaseMetadata,
     ParallelExecutor,
     ParameterTuner,
     SerialExecutor,
@@ -115,6 +117,10 @@ from .workload import (
     random_range_workload,
 )
 
+# `.serve` sits on top of everything above (registry + algorithms + workload),
+# so it is imported last.
+from .serve import ReleaseService
+
 __version__ = "1.0.0"
 
 __all__ = [
@@ -136,7 +142,9 @@ __all__ = [
     # core
     "DPBench", "BenchmarkGrid", "DataGenerator", "ResultSet", "RunRecord",
     "ExperimentSetting", "Job", "SerialExecutor", "ParallelExecutor",
-    "MeasurementSet", "solve_gls",
+    "MeasurementSet", "MeasurementPlan", "ReleaseMetadata", "solve_gls",
+    # serve
+    "ReleaseService",
     "SideInformationRepair", "ParameterTuner",
     "TuningResult", "ALGORITHM_REGISTRY", "make_algorithm", "algorithm_names",
     "algorithms_for_dimension", "table1_rows", "benchmark_1d", "benchmark_2d",

@@ -17,6 +17,7 @@ from .benchmark import BenchmarkGrid, DPBench
 from .executor import Job, JobRuntime, ParallelExecutor, SerialExecutor
 from .gls import solve_gls
 from .measurement import MeasurementSet
+from .plan import MeasurementPlan, ReleaseMetadata, measure_plan, reconstruct
 from .error import (
     ErrorSummary,
     bias_variance_decomposition,
@@ -55,6 +56,10 @@ __all__ = [
     "SerialExecutor",
     "ParallelExecutor",
     "MeasurementSet",
+    "MeasurementPlan",
+    "ReleaseMetadata",
+    "measure_plan",
+    "reconstruct",
     "solve_gls",
     "DataGenerator",
     "ResultSet",

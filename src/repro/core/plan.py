@@ -49,7 +49,29 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..algorithms.tree import HierarchicalTree
     from ..workload.rangequery import Workload
 
-__all__ = ["MeasurementPlan", "SelectionStrategy", "measure_plan", "reconstruct"]
+__all__ = ["MeasurementPlan", "ReleaseMetadata", "SelectionStrategy",
+           "measure_plan", "reconstruct"]
+
+
+@dataclass(frozen=True)
+class ReleaseMetadata:
+    """Provenance of a published private release.
+
+    A released histogram is post-processing-free: once its epsilon is spent,
+    any number of range queries can be answered from it forever at zero
+    additional privacy cost.  The serving layer (:mod:`repro.serve`) stamps
+    every published release with this record so clients can audit what they
+    are querying: which registered algorithm produced it, the budget it was
+    run at, what it actually spent (``epsilon_spent`` covers both the
+    selection and noise stages for plan algorithms), and how many noisy
+    measurements back the reconstruction.
+    """
+
+    algorithm: str
+    epsilon: float
+    epsilon_spent: float
+    domain_shape: tuple[int, ...]
+    n_measurements: int = 0
 
 
 @dataclass
@@ -266,15 +288,25 @@ def _disjoint_estimate(measured: MeasurementSet) -> np.ndarray:
     assignments bit-for-bit."""
     queries = measured.queries
     per_cell = measured.values / queries.query_sizes()
+    estimate = np.zeros(queries.domain_shape)
     if queries.ndim == 1:
-        estimate = np.zeros(queries.domain_shape)
         lengths = queries.his[:, 0] - queries.los[:, 0] + 1
         cells = _expand_runs(queries.los[:, 0], lengths)
         estimate[cells] = np.repeat(per_cell, lengths)
         return estimate
-    estimate = np.zeros(queries.domain_shape)
-    for value, lo, hi in zip(per_cell, queries.los, queries.his):
-        estimate[lo[0]:hi[0] + 1, lo[1]:hi[1] + 1] = value
+    # 2-D scatter, vectorised run-by-run exactly like to_sparse: one run per
+    # covered row of each rectangle, flat cell indices per run.  Disjointness
+    # makes the write order irrelevant, and each cell receives the very same
+    # float the per-rectangle slice assignments wrote, so the result is
+    # bitwise-identical to the historical Python loop.
+    _, cols = queries.domain_shape
+    heights = queries.his[:, 0] - queries.los[:, 0] + 1
+    widths = queries.his[:, 1] - queries.los[:, 1] + 1
+    run_rows = _expand_runs(queries.los[:, 0], heights)
+    run_query = np.repeat(np.arange(queries.n_queries), heights)
+    starts = run_rows * cols + queries.los[run_query, 1]
+    cells = _expand_runs(starts, widths[run_query])
+    estimate.reshape(-1)[cells] = np.repeat(per_cell, heights * widths)
     return estimate
 
 

@@ -1,0 +1,80 @@
+"""Counters for the online release service.
+
+Serving a DP release is free post-processing, so the only operational
+questions are throughput and cache behaviour.  :class:`ServiceStats` keeps
+the service-level counters (queries answered, point vs batch split, releases
+published, queries/sec since start); the cache keeps its own hit/miss/
+eviction counters (:class:`repro.serve.cache.CacheStats`) and the service
+merges both into one snapshot.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass
+
+__all__ = ["ServiceStats", "StatsSnapshot"]
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """Point-in-time view of the service counters."""
+
+    queries: int            #: individual queries answered (batch rows count each)
+    point_queries: int      #: single-rectangle calls
+    batch_queries: int      #: batched calls (one per request, however large)
+    releases: int           #: releases published (re-releases included)
+    uptime_seconds: float   #: seconds since the service was constructed
+    qps: float              #: queries / uptime
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
+class ServiceStats:
+    """Thread-safe service counters with an injectable clock.
+
+    ``clock`` is any zero-argument callable returning seconds (defaults to
+    :func:`time.monotonic`); tests inject a fake clock to pin qps and TTL
+    behaviour deterministically.
+    """
+
+    def __init__(self, clock=time.monotonic):
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._started = clock()
+        self._queries = 0
+        self._point_queries = 0
+        self._batch_queries = 0
+        self._releases = 0
+
+    def record_point(self) -> None:
+        with self._lock:
+            self._queries += 1
+            self._point_queries += 1
+
+    def record_batch(self, n_queries: int) -> None:
+        with self._lock:
+            self._queries += int(n_queries)
+            self._batch_queries += 1
+
+    def record_release(self) -> None:
+        with self._lock:
+            self._releases += 1
+
+    @property
+    def queries(self) -> int:
+        return self._queries
+
+    def snapshot(self) -> StatsSnapshot:
+        with self._lock:
+            elapsed = max(self._clock() - self._started, 1e-12)
+            return StatsSnapshot(
+                queries=self._queries,
+                point_queries=self._point_queries,
+                batch_queries=self._batch_queries,
+                releases=self._releases,
+                uptime_seconds=elapsed,
+                qps=self._queries / elapsed,
+            )

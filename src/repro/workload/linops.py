@@ -19,6 +19,8 @@ solver in :mod:`repro.core.gls`.
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from .prefix_sum import PrefixSum
@@ -66,8 +68,22 @@ class QueryMatrix:
         self._los = los
         self._his = his
         self._domain_shape = domain_shape
+        # Lazy caches are built once under the lock and then published by a
+        # single attribute assignment, so concurrent readers (the serving
+        # layer answers many clients over one shared operator) never observe
+        # a half-initialised cache or rebuild it.
+        self._lock = threading.Lock()
         self._csr = None
         self._cell_counts = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_lock"] = None          # locks do not pickle; recreated on load
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # -- metadata -----------------------------------------------------------------
     @property
@@ -120,8 +136,21 @@ class QueryMatrix:
         raise ValueError(
             f"operand shape {x.shape} does not match domain {self._domain_shape}")
 
-    def matvec(self, x: np.ndarray) -> np.ndarray:
-        """``W @ x`` through a summed-area table — O(n + q), no matrix."""
+    def matvec(self, x: np.ndarray | PrefixSum) -> np.ndarray:
+        """``W @ x`` through a summed-area table — O(n + q), no matrix.
+
+        ``x`` may be a pre-built :class:`PrefixSum` over the domain, in which
+        case the O(n) table construction is skipped and the application is
+        O(q) table lookups — the batch hot path of the online release service
+        (:mod:`repro.serve`), which answers every query stream against one
+        precomputed cube.
+        """
+        if isinstance(x, PrefixSum):
+            if x.shape != self._domain_shape:
+                raise ValueError(
+                    f"prefix table over {x.shape} does not match domain "
+                    f"{self._domain_shape}")
+            return x.range_sums(self._los, self._his)
         return PrefixSum(self._as_domain(x)).range_sums(self._los, self._his)
 
     def rmatvec(self, y: np.ndarray) -> np.ndarray:
@@ -152,24 +181,30 @@ class QueryMatrix:
 
     def cell_counts(self) -> np.ndarray:
         """Number of queries covering each cell (integer column sums of ``W``)."""
-        if self._cell_counts is None:
-            if self.ndim == 1:
-                (n,) = self._domain_shape
-                diff = np.zeros(n + 1, dtype=np.int64)
-                np.add.at(diff, self._los[:, 0], 1)
-                np.add.at(diff, self._his[:, 0] + 1, -1)
-                self._cell_counts = np.cumsum(diff)[:-1]
-            else:
-                rows, cols = self._domain_shape
-                diff = np.zeros((rows + 1, cols + 1), dtype=np.int64)
-                r0, c0 = self._los[:, 0], self._los[:, 1]
-                r1, c1 = self._his[:, 0] + 1, self._his[:, 1] + 1
-                np.add.at(diff, (r0, c0), 1)
-                np.add.at(diff, (r0, c1), -1)
-                np.add.at(diff, (r1, c0), -1)
-                np.add.at(diff, (r1, c1), 1)
-                self._cell_counts = diff.cumsum(axis=0).cumsum(axis=1)[:-1, :-1]
-        return self._cell_counts
+        counts = self._cell_counts
+        if counts is None:
+            with self._lock:
+                if self._cell_counts is None:
+                    if self.ndim == 1:
+                        (n,) = self._domain_shape
+                        diff = np.zeros(n + 1, dtype=np.int64)
+                        np.add.at(diff, self._los[:, 0], 1)
+                        np.add.at(diff, self._his[:, 0] + 1, -1)
+                        counts = np.cumsum(diff)[:-1]
+                    else:
+                        rows, cols = self._domain_shape
+                        diff = np.zeros((rows + 1, cols + 1), dtype=np.int64)
+                        r0, c0 = self._los[:, 0], self._los[:, 1]
+                        r1, c1 = self._his[:, 0] + 1, self._his[:, 1] + 1
+                        np.add.at(diff, (r0, c0), 1)
+                        np.add.at(diff, (r0, c1), -1)
+                        np.add.at(diff, (r1, c0), -1)
+                        np.add.at(diff, (r1, c1), 1)
+                        counts = diff.cumsum(axis=0).cumsum(axis=1)[:-1, :-1]
+                    self._cell_counts = counts
+                else:
+                    counts = self._cell_counts
+        return counts
 
     def sensitivity(self) -> int:
         """L1 sensitivity: the maximum number of queries any cell participates
@@ -267,33 +302,38 @@ class QueryMatrix:
         columns, a 2-D query is one run per covered row of the rectangle, so
         the construction is fully vectorised with no per-query Python loop.
         """
-        if self._csr is None:
-            from scipy import sparse
+        csr = self._csr
+        if csr is None:
+            with self._lock:
+                if self._csr is None:
+                    from scipy import sparse
 
-            if self.ndim == 1:
-                starts = self._los[:, 0]
-                lengths = self._his[:, 0] - self._los[:, 0] + 1
-            else:
-                _, cols = self._domain_shape
-                heights = self._his[:, 0] - self._los[:, 0] + 1
-                # One run per covered row of each rectangle.
-                run_rows = _expand_runs(self._los[:, 0], heights)
-                run_query = np.repeat(np.arange(self.n_queries), heights)
-                starts = run_rows * cols + self._los[run_query, 1]
-                lengths = (self._his[:, 1] - self._los[:, 1] + 1)[run_query]
-            indices = _expand_runs(starts, lengths)
-            if self.ndim == 1:
-                indptr = np.zeros(self.n_queries + 1, dtype=np.intp)
-                np.cumsum(lengths, out=indptr[1:])
-            else:
-                per_query = np.zeros(self.n_queries, dtype=np.intp)
-                np.add.at(per_query, run_query, lengths)
-                indptr = np.zeros(self.n_queries + 1, dtype=np.intp)
-                np.cumsum(per_query, out=indptr[1:])
-            data = np.ones(indices.size)
-            self._csr = sparse.csr_matrix((data, indices, indptr),
-                                          shape=(self.n_queries, self.domain_size))
-        return self._csr
+                    if self.ndim == 1:
+                        starts = self._los[:, 0]
+                        lengths = self._his[:, 0] - self._los[:, 0] + 1
+                    else:
+                        _, cols = self._domain_shape
+                        heights = self._his[:, 0] - self._los[:, 0] + 1
+                        # One run per covered row of each rectangle.
+                        run_rows = _expand_runs(self._los[:, 0], heights)
+                        run_query = np.repeat(np.arange(self.n_queries), heights)
+                        starts = run_rows * cols + self._los[run_query, 1]
+                        lengths = (self._his[:, 1] - self._los[:, 1] + 1)[run_query]
+                    indices = _expand_runs(starts, lengths)
+                    if self.ndim == 1:
+                        indptr = np.zeros(self.n_queries + 1, dtype=np.intp)
+                        np.cumsum(lengths, out=indptr[1:])
+                    else:
+                        per_query = np.zeros(self.n_queries, dtype=np.intp)
+                        np.add.at(per_query, run_query, lengths)
+                        indptr = np.zeros(self.n_queries + 1, dtype=np.intp)
+                        np.cumsum(per_query, out=indptr[1:])
+                    data = np.ones(indices.size)
+                    self._csr = sparse.csr_matrix(
+                        (data, indices, indptr),
+                        shape=(self.n_queries, self.domain_size))
+                csr = self._csr
+        return csr
 
     def to_dense(self) -> np.ndarray:
         """Dense materialisation — intended for small domains only."""

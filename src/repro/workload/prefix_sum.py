@@ -38,7 +38,20 @@ class PrefixSum:
         return self._shape
 
     def range_sum(self, lo: tuple[int, ...], hi: tuple[int, ...]) -> float:
-        """Inclusive sum of the rectangle ``lo <= idx <= hi``."""
+        """Inclusive sum of the rectangle ``lo <= idx <= hi``.
+
+        Corners must satisfy ``0 <= lo <= hi < shape`` per axis; out-of-range
+        corners raise ``ValueError`` (a negative index would otherwise wrap
+        onto the far end of the table and return a silently wrong sum).
+        """
+        if len(lo) != len(self._shape) or len(hi) != len(self._shape):
+            raise ValueError(
+                f"corners must have one coordinate per axis of {self._shape}")
+        for a, b, d in zip(lo, hi, self._shape):
+            if not 0 <= a <= b < d:
+                raise ValueError(
+                    f"corners must satisfy 0 <= lo <= hi < shape; got "
+                    f"lo={tuple(lo)}, hi={tuple(hi)} over {self._shape}")
         if len(self._shape) == 1:
             return float(self._table[hi[0] + 1] - self._table[lo[0]])
         t = self._table
@@ -50,12 +63,21 @@ class PrefixSum:
         """Vectorised inclusive range sums.
 
         ``los`` and ``his`` are integer arrays of shape ``(q, ndim)`` holding
-        the lower and upper (inclusive) corners of ``q`` queries.
+        the lower and upper (inclusive) corners of ``q`` queries; every corner
+        must satisfy ``0 <= lo <= hi < shape`` (``ValueError`` otherwise).
         """
         los = np.asarray(los, dtype=np.intp)
         his = np.asarray(his, dtype=np.intp)
         if los.shape != his.shape:
             raise ValueError("los and his must have the same shape")
+        if los.ndim != 2 or los.shape[1] != len(self._shape):
+            raise ValueError(
+                f"corner arrays must have shape (q, {len(self._shape)}) for "
+                f"domain {self._shape}, got {los.shape}")
+        if np.any(los < 0) or np.any(his < los) \
+                or np.any(his >= np.asarray(self._shape, dtype=np.intp)):
+            raise ValueError(
+                f"corners must satisfy 0 <= lo <= hi < shape over {self._shape}")
         if len(self._shape) == 1:
             return self._table[his[:, 0] + 1] - self._table[los[:, 0]]
         t = self._table

@@ -9,12 +9,14 @@ representation used by matrix-mechanism style analyses.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Sequence
 
 import numpy as np
 
 from .linops import QueryMatrix
+from .prefix_sum import PrefixSum
 
 __all__ = ["RangeQuery", "Workload"]
 
@@ -98,7 +100,18 @@ class Workload:
         self.name = name
         self._los = np.array([q.lo for q in queries], dtype=np.intp)
         self._his = np.array([q.hi for q in queries], dtype=np.intp)
+        # Built once under the lock, then published (see QueryMatrix's caches).
+        self._lock = threading.Lock()
         self._operator: QueryMatrix | None = None
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_lock"] = None          # locks do not pickle; recreated on load
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
 
     # -- basic container protocol -------------------------------------------------
     def __len__(self) -> int:
@@ -132,12 +145,23 @@ class Workload:
         """The workload's :class:`QueryMatrix` — a sparse linear operator
         shared by every consumer (evaluation, MWEM's update loop, sensitivity
         analysis, the GLS solver).  Built once per workload and cached."""
-        if self._operator is None:
-            self._operator = QueryMatrix(self._los, self._his, self._domain_shape)
-        return self._operator
+        operator = self._operator
+        if operator is None:
+            with self._lock:
+                if self._operator is None:
+                    self._operator = QueryMatrix(self._los, self._his,
+                                                 self._domain_shape)
+                operator = self._operator
+        return operator
 
-    def evaluate(self, x: np.ndarray) -> np.ndarray:
-        """Answer every query against ``x`` (returned in workload order)."""
+    def evaluate(self, x: np.ndarray | PrefixSum) -> np.ndarray:
+        """Answer every query against ``x`` (returned in workload order).
+
+        ``x`` may be a pre-built :class:`PrefixSum` over the domain, skipping
+        the O(n) table construction (the online release service's bulk path).
+        """
+        if isinstance(x, PrefixSum):
+            return self.operator.matvec(x)
         x = np.asarray(x, dtype=float)
         if x.shape != self._domain_shape:
             raise ValueError(

@@ -227,3 +227,94 @@ class TestPartitionMappings:
         assert len(coarse) == 16                 # multiplicities preserved
         assert coarse[0].hi == (0,)
         assert coarse[15].hi == (3,)
+
+
+class TestConcurrentLazyCaches:
+    """The serving layer shares one QueryMatrix across reader threads, so the
+    lazy caches must build exactly once and never expose a half-built value."""
+
+    @staticmethod
+    def _hammer(n_threads, fn):
+        import threading
+
+        barrier = threading.Barrier(n_threads)
+        results, errors = [None] * n_threads, []
+
+        def worker(i):
+            try:
+                barrier.wait()
+                results[i] = fn()
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(i,))
+                   for i in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors, errors
+        return results
+
+    def test_to_sparse_builds_once_under_contention(self, monkeypatch):
+        """Regression: the unsynchronized check-then-set let two threads race
+        and rebuild the CSR cache; a widened build window makes the race
+        deterministic without the lock."""
+        import time
+
+        import repro.workload.linops as linops
+
+        original = linops._expand_runs
+
+        def slow_expand(*args):
+            time.sleep(0.02)                     # widen the race window
+            return original(*args)
+
+        monkeypatch.setattr(linops, "_expand_runs", slow_expand)
+        operator = random_range_workload((64,), n_queries=40, rng=7).operator
+        results = self._hammer(8, operator.to_sparse)
+        assert all(csr is results[0] for csr in results)   # built exactly once
+        dense = np.zeros((40, 64))
+        for q, (lo, hi) in enumerate(zip(operator.los[:, 0], operator.his[:, 0])):
+            dense[q, lo:hi + 1] = 1.0
+        assert np.array_equal(results[0].toarray(), dense)
+
+    def test_cell_counts_and_matvec_under_contention(self):
+        workload = random_range_workload((50, 30), n_queries=120, rng=8)
+        operator = workload.operator
+        x = np.random.default_rng(0).random((50, 30))
+        expected = operator.matvec(x)
+        counts = _brute_force_counts(workload)
+
+        def reader():
+            return operator.cell_counts(), operator.matvec(x), operator.to_sparse()
+
+        results = self._hammer(12, reader)
+        first_counts, _, first_csr = results[0]
+        for got_counts, got_answers, got_csr in results:
+            assert got_counts is first_counts    # one published cache
+            assert got_csr is first_csr
+            assert np.array_equal(got_counts, counts)
+            assert np.array_equal(got_answers, expected)
+
+    def test_workload_operator_builds_once_under_contention(self):
+        workload = random_range_workload((64,), n_queries=30, rng=9)
+        results = self._hammer(8, lambda: workload.operator)
+        assert all(op is results[0] for op in results)
+
+    def test_operator_with_built_caches_survives_pickling(self):
+        """Locks are excluded from the pickled state and recreated on load
+        (ParallelExecutor ships workloads to worker processes)."""
+        import pickle
+
+        workload = random_range_workload((32,), n_queries=20, rng=10)
+        operator = workload.operator
+        operator.to_sparse()
+        operator.cell_counts()
+        x = np.random.default_rng(1).random(32)
+
+        clone = pickle.loads(pickle.dumps(workload))
+        assert np.array_equal(clone.evaluate(x), workload.evaluate(x))
+        op_clone = pickle.loads(pickle.dumps(operator))
+        assert np.array_equal(op_clone.matvec(x), operator.matvec(x))
+        assert op_clone.to_sparse() is op_clone.to_sparse()

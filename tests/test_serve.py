@@ -1,0 +1,245 @@
+"""Tests for the online release service (repro.serve).
+
+The correctness contract: every serve answer — point or batch, cached or
+uncached — is exactly ``QueryMatrix.matvec`` of the released histogram
+(bitwise, not approximately), because serving is pure post-processing of the
+release.  The cache-semantics tests pin TTL expiry, LRU eviction,
+invalidation-on-re-release and the consistency of the stats counters, all
+under an injected fake clock.
+"""
+
+import numpy as np
+import pytest
+
+import repro
+from repro import QueryMatrix
+from repro.serve import QueryCache, ReleaseService, ReleaseStore
+from repro.serve.cache import MISSING
+
+
+class FakeClock:
+    """A manually advanced clock for deterministic TTL / qps tests."""
+
+    def __init__(self, start: float = 0.0):
+        self.now = float(start)
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def _random_rectangles(rng, domain_shape, n):
+    """Uniformly random in-bounds inclusive rectangles over the domain."""
+    shape = np.asarray(domain_shape, dtype=np.intp)
+    a = rng.integers(0, shape, (n, shape.size))
+    b = rng.integers(0, shape, (n, shape.size))
+    return np.minimum(a, b), np.maximum(a, b)
+
+
+def _released_service(domain_shape, seed, **kwargs):
+    rng = np.random.default_rng(seed)
+    x = rng.integers(0, 100, domain_shape).astype(float)
+    service = ReleaseService("Identity", epsilon=1.0, **kwargs)
+    service.release(x, rng=seed)
+    return service
+
+
+class TestAnswersAreExactPostProcessing:
+    @pytest.mark.parametrize("domain_shape", [(257,), (31, 47)],
+                             ids=["1d", "2d"])
+    def test_point_and_batch_match_matvec_bitwise(self, domain_shape):
+        """Random releases, random rectangles: every path is bitwise-exact."""
+        for trial in range(3):
+            service = _released_service(domain_shape, seed=100 + trial)
+            histogram = service.current_release.histogram
+            rng = np.random.default_rng(1000 + trial)
+            los, his = _random_rectangles(rng, domain_shape, 200)
+            reference = QueryMatrix(los, his, domain_shape).matvec(histogram)
+
+            uncached = service.query_batch(los, his)
+            cached = service.query_batch(los, his)
+            assert uncached.tobytes() == reference.tobytes()
+            assert cached.tobytes() == reference.tobytes()
+
+            for i in range(0, 200, 7):
+                point = service.query(tuple(los[i]), tuple(his[i]))
+                again = service.query(tuple(los[i]), tuple(his[i]))   # cache hit
+                assert point == reference[i] and again == reference[i]
+                # ... and equality here is bitwise: both sides are float64.
+                assert np.float64(point).tobytes() == reference[i:i + 1].tobytes()
+
+    def test_workload_path_matches_matvec_bitwise(self):
+        service = _released_service((128,), seed=5)
+        workload = repro.prefix_workload(128)
+        reference = workload.operator.matvec(service.current_release.histogram)
+        assert service.query_workload(workload).tobytes() == reference.tobytes()
+        assert service.query_workload(workload).tobytes() == reference.tobytes()
+
+    def test_scalar_corners_and_tuple_corners_share_a_cache_entry(self):
+        service = _released_service((64,), seed=6)
+        first = service.query(3, 9)
+        assert service.query((3,), (np.intp(9),)) == first
+        stats = service.stats()["cache"]
+        assert stats["hits"] == 1 and stats["misses"] == 1
+
+    def test_out_of_bounds_queries_raise(self):
+        service = _released_service((64,), seed=7)
+        with pytest.raises(ValueError):
+            service.query(-1, 3)
+        with pytest.raises(ValueError):
+            service.query(3, 64)
+        with pytest.raises(ValueError):
+            service.query_batch([[0], [5]], [[63], [64]])
+
+    def test_query_before_release_raises(self):
+        service = ReleaseService("Identity", epsilon=1.0)
+        with pytest.raises(RuntimeError, match="no release"):
+            service.query(0, 1)
+
+    def test_released_histogram_is_frozen(self):
+        service = _released_service((32,), seed=8)
+        with pytest.raises(ValueError):
+            service.current_release.histogram[0] = 1.0
+        with pytest.raises(ValueError):
+            service.query_batch([[0]], [[3]])[0] = 1.0
+
+
+class TestCacheSemantics:
+    def test_ttl_expiry(self):
+        clock = FakeClock()
+        service = _released_service((64,), seed=9, ttl=10.0, clock=clock)
+        service.query(0, 5)
+        clock.advance(9.999)
+        service.query(0, 5)                      # still fresh: hit
+        clock.advance(0.002)
+        service.query(0, 5)                      # past the TTL: recomputed
+        stats = service.stats()["cache"]
+        assert stats["hits"] == 1
+        assert stats["expirations"] == 1
+        assert stats["misses"] == 2              # initial miss + expired miss
+
+    def test_lru_eviction_order(self):
+        cache = QueryCache(maxsize=2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1               # "a" is now most-recent
+        cache.put("c", 3)                        # evicts "b", the LRU entry
+        assert cache.get("b") is MISSING
+        assert cache.get("a") == 1 and cache.get("c") == 3
+        stats = cache.stats()
+        assert stats.evictions == 1 and stats.size == 2
+
+    def test_eviction_counter_under_pressure(self):
+        service = _released_service((64,), seed=10, cache_size=8)
+        for lo in range(32):
+            service.query(lo, lo + 1)
+        stats = service.stats()["cache"]
+        assert stats["evictions"] == 32 - 8
+        assert stats["size"] == 8
+
+    def test_cache_size_zero_disables_caching(self):
+        service = _released_service((64,), seed=11, cache_size=0)
+        assert service.query(0, 5) == service.query(0, 5)
+        stats = service.stats()["cache"]
+        assert stats["hits"] == 0 and stats["misses"] == 2 and stats["size"] == 0
+
+    def test_re_release_invalidates_and_serves_fresh_answers(self):
+        rng = np.random.default_rng(12)
+        x = rng.integers(0, 100, 64).astype(float)
+        service = ReleaseService("Identity", epsilon=1.0)
+        service.release(x, rng=1)
+        v1 = service.query(0, 63)
+        first = service.current_release.histogram
+
+        service.release(x, rng=2)                # fresh noise, same data
+        second = service.current_release.histogram
+        assert not np.array_equal(first, second)
+        v2 = service.query(0, 63)
+        reference = float(QueryMatrix([[0]], [[63]], (64,)).matvec(second)[0])
+        assert v2 == reference and v2 != v1
+        stats = service.stats()["cache"]
+        assert stats["invalidations"] == 2       # one per release() call
+        assert stats["hits"] == 0                # the v1 entry was unreachable
+
+    def test_explicit_invalidation(self):
+        service = _released_service((64,), seed=13)
+        service.query(0, 5)
+        service.invalidate_cache()
+        service.query(0, 5)
+        stats = service.stats()["cache"]
+        assert stats["hits"] == 0 and stats["misses"] == 2
+
+    def test_purge_expired(self):
+        clock = FakeClock()
+        cache = QueryCache(maxsize=8, ttl=5.0, clock=clock)
+        cache.put("a", 1)
+        clock.advance(3)
+        cache.put("b", 2)
+        clock.advance(3)                         # "a" expired, "b" fresh
+        assert cache.purge_expired() == 1
+        assert cache.get("b") == 2
+        assert cache.stats().expirations == 1
+
+    def test_invalid_parameters_raise(self):
+        with pytest.raises(ValueError):
+            QueryCache(maxsize=-1)
+        with pytest.raises(ValueError):
+            QueryCache(ttl=0.0)
+        with pytest.raises(ValueError):
+            ReleaseService("Identity", epsilon=0.0)
+
+
+class TestStatsCounters:
+    def test_counters_consistent_with_hits_plus_misses(self):
+        clock = FakeClock()
+        service = _released_service((64,), seed=14, clock=clock)
+        rng = np.random.default_rng(0)
+        lookups = 0
+        for _ in range(50):
+            lo = int(rng.integers(0, 32))
+            service.query(lo, lo + 8)
+            lookups += 1
+        los, his = _random_rectangles(rng, (64,), 30)
+        service.query_batch(los, his)
+        service.query_batch(los, his)
+        lookups += 2
+
+        clock.advance(2.0)
+        stats = service.stats()
+        cache = stats["cache"]
+        assert cache["lookups"] == cache["hits"] + cache["misses"] == lookups
+        assert cache["insertions"] == cache["misses"]        # every miss cached
+        assert stats["queries"] == 50 + 2 * 30
+        assert stats["point_queries"] == 50
+        assert stats["batch_queries"] == 2
+        assert stats["qps"] == pytest.approx(stats["queries"] / 2.0)
+        assert 0.0 < cache["hit_rate"] < 1.0
+
+    def test_release_metadata_and_history(self):
+        workload = repro.prefix_workload(64)
+        service = ReleaseService("DAWA", epsilon=0.5, workload=workload)
+        rng = np.random.default_rng(15)
+        x = rng.integers(0, 100, 64).astype(float)
+        release = service.release(x, rng=3)
+        meta = release.metadata
+        assert meta.algorithm == "DAWA"
+        assert meta.epsilon == 0.5
+        assert meta.epsilon_spent == pytest.approx(0.5)
+        assert meta.domain_shape == (64,)
+        assert meta.n_measurements > 0
+        # plan-path release is bitwise-identical to Algorithm.run
+        direct = repro.make_algorithm("DAWA").run(x, 0.5, workload=workload, rng=3)
+        assert release.histogram.tobytes() == direct.tobytes()
+
+        service.release(x, rng=4, epsilon=0.2)
+        history = service.history
+        assert [m.epsilon for m in history] == [0.5, 0.2]
+        assert service.version == 2
+
+    def test_store_rejects_reads_before_publish(self):
+        store = ReleaseStore()
+        assert store.version == 0
+        with pytest.raises(RuntimeError):
+            store.current()

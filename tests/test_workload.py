@@ -50,6 +50,47 @@ class TestPrefixSum:
         with pytest.raises(ValueError):
             table.range_sums(np.zeros((2, 1), dtype=int), np.zeros((3, 1), dtype=int))
 
+    def test_negative_lo_rejected_not_wrapped(self):
+        """Regression: lo = -1 used to wrap onto the last table entry and
+        return a silently wrong (often negative) sum."""
+        x = np.arange(1.0, 9.0)
+        table = PrefixSum(x)
+        with pytest.raises(ValueError, match="0 <= lo <= hi"):
+            table.range_sum((-1,), (3,))
+        with pytest.raises(ValueError, match="0 <= lo <= hi"):
+            table.range_sums(np.array([[-1]]), np.array([[3]]))
+
+    def test_past_the_end_hi_rejected(self):
+        x = np.arange(1.0, 9.0)
+        table = PrefixSum(x)
+        with pytest.raises(ValueError, match="0 <= lo <= hi"):
+            table.range_sum((0,), (8,))
+        with pytest.raises(ValueError, match="0 <= lo <= hi"):
+            table.range_sums(np.array([[0]]), np.array([[8]]))
+
+    def test_inverted_corners_rejected(self):
+        table = PrefixSum(np.ones((4, 4)))
+        with pytest.raises(ValueError, match="0 <= lo <= hi"):
+            table.range_sum((2, 0), (1, 3))
+        with pytest.raises(ValueError, match="0 <= lo <= hi"):
+            table.range_sums(np.array([[2, 0]]), np.array([[1, 3]]))
+
+    def test_2d_wrap_cases_rejected(self):
+        table = PrefixSum(np.ones((4, 6)))
+        for lo, hi in [((-1, 0), (2, 2)), ((0, -2), (2, 2)),
+                       ((0, 0), (4, 2)), ((0, 0), (2, 6))]:
+            with pytest.raises(ValueError, match="0 <= lo <= hi"):
+                table.range_sum(lo, hi)
+            with pytest.raises(ValueError, match="0 <= lo <= hi"):
+                table.range_sums(np.array([lo]), np.array([hi]))
+
+    def test_wrong_corner_arity_rejected(self):
+        table = PrefixSum(np.ones((4, 6)))
+        with pytest.raises(ValueError, match="per axis"):
+            table.range_sum((0,), (2,))
+        with pytest.raises(ValueError, match=r"\(q, 2\)"):
+            table.range_sums(np.array([[0]]), np.array([[2]]))
+
 
 class TestRangeQuery:
     def test_size_and_contains(self):
