@@ -1,0 +1,171 @@
+"""Macro-benchmark: million-cell domains end-to-end.
+
+The paper's studies stop at domain 4096 (1-D) and 64 x 64 (2-D); this bench
+pushes the release pipeline to 2**20 cells in both layouts and records how
+the wall-clock scales.  Three PR-7 kernels carry the load
+(:mod:`repro.core.kernels`):
+
+* ``l1_partition_core`` — DAWA's survivor scan, dispatchable to numba;
+* ``tree_two_pass`` — the streaming tree GLS (fixed ``TREE_BLOCK`` row
+  blocks, so a 2**20-leaf solve never materialises a level-sized dense
+  intermediate);
+* ``batched_laplace`` — plan noise in one generator call per scale group.
+
+Gates:
+
+* kernel-vs-reference **bitwise parity** (always): the dispatched DAWA
+  partition equals ``l1_partition_reference`` and the scalar tree sources
+  equal the numpy backend;
+* **>= 2x** DAWA partition speedup at n = 2**17 noise-dominated under the
+  numba backend (skipped cleanly when numba is absent — the container
+  default runs the numpy reference everywhere).
+
+Run with ``python -m pytest benchmarks/bench_large_domain.py -q``.
+``DPBENCH_SMOKE=1`` drops the 2**20 rows and shrinks the 2-D side so CI
+finishes in seconds; the committed snapshot under ``benchmarks/results/``
+is produced by a full run.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from _shared import format_table, kernel_backend, report, run_once
+from repro import make_algorithm
+from repro.algorithms.dawa import l1_partition, l1_partition_reference
+from repro.core import kernels
+from repro.core.kernels import numba_available, use_backend
+
+SMOKE = os.environ.get("DPBENCH_SMOKE", "0") not in ("", "0")
+
+SIZES_1D = [2**14, 2**17] if SMOKE else [2**14, 2**17, 2**20]
+SIDE_2D = 256 if SMOKE else 1024
+ALGORITHMS_1D = ["Identity", "H", "GreedyH", "DAWA"]
+ALGORITHMS_2D = ["Identity", "GreedyH", "DAWA"]  # H is 1-D only (Table 1)
+EPSILON = 0.1
+
+
+def _counts(n: int, rng: np.random.Generator) -> np.ndarray:
+    """Sparse skewed counts at ~10 units per cell — large-domain regime."""
+    shape = rng.dirichlet(np.full(n, 0.05))
+    return rng.multinomial(10 * n, shape).astype(float)
+
+
+def _time_once(fn) -> tuple[float, object]:
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def test_scaling_table(benchmark):
+    """One row per (domain, algorithm): wall-clock of a full private release.
+
+    Workload-aware stages see ``workload=None`` (their default hierarchies) —
+    materialising a million-query workload object would swamp the timing with
+    python object construction, and the kernels under test run either way.
+    """
+
+    def study():
+        rows = []
+        for n in SIZES_1D:
+            data = _counts(n, np.random.default_rng(20160626))
+            for name in ALGORITHMS_1D:
+                algorithm = make_algorithm(name)
+                seconds, estimate = _time_once(lambda: algorithm.run(
+                    data, EPSILON, rng=np.random.default_rng(7)))
+                assert estimate.shape == data.shape
+                assert np.all(np.isfinite(estimate))
+                rows.append({"domain": f"1-D n=2^{n.bit_length() - 1}",
+                             "algorithm": name, "seconds": seconds})
+        side = SIDE_2D
+        data = _counts(side * side,
+                       np.random.default_rng(20160626)).reshape(side, side)
+        for name in ALGORITHMS_2D:
+            algorithm = make_algorithm(name)
+            seconds, estimate = _time_once(lambda: algorithm.run(
+                data, EPSILON, rng=np.random.default_rng(7)))
+            assert estimate.shape == data.shape
+            assert np.all(np.isfinite(estimate))
+            rows.append({"domain": f"2-D {side}x{side}", "algorithm": name,
+                         "seconds": seconds})
+        for row in rows:
+            row["backend"] = kernel_backend()
+        return rows
+
+    rows = run_once(benchmark, study)
+    sizes = ", ".join(f"2^{n.bit_length() - 1}" for n in SIZES_1D)
+    report("bench_large_domain",
+           f"Large-domain scaling (1-D n in {{{sizes}}}, 2-D {SIDE_2D}x"
+           f"{SIDE_2D}, eps={EPSILON}, backend={kernel_backend()})",
+           format_table(rows, floatfmt="{:.3f}"))
+
+
+def test_kernel_reference_parity(benchmark):
+    """The dispatched kernels are bitwise-interchangeable with the references
+    on large-domain inputs (both backends when numba is present)."""
+
+    def study():
+        n = 2**14
+        rng = np.random.default_rng(3)
+        noisy = _counts(n, rng) + rng.laplace(0.0, 10.0, n)
+        reference = l1_partition_reference(noisy, bucket_penalty=10.0)
+        backends = ["numpy"] + (["numba"] if numba_available() else [])
+        for backend in backends:
+            with use_backend(backend):
+                assert l1_partition(noisy, 10.0) == reference, \
+                    f"{backend} partition diverged from the reference"
+
+        groups = []
+        for d in range(14):  # complete binary tree, heap-ordered
+            parents = np.arange(2**d - 1, 2**(d + 1) - 1, dtype=np.intp)
+            groups.append((parents,
+                           np.stack([2 * parents + 1, 2 * parents + 2], axis=1)))
+        n_nodes = 2**15 - 1
+        own_values = rng.normal(0.0, 50.0, n_nodes)
+        own_vars = rng.uniform(0.5, 8.0, n_nodes)
+        ref = kernels._tree_two_pass_numpy(groups, own_values, own_vars)
+        got = kernels._tree_two_pass_numba_driver(groups, own_values, own_vars)
+        assert got.tobytes() == ref.tobytes(), \
+            "scalar tree sources diverged from the numpy backend"
+        return len(backends)
+
+    backends_checked = run_once(benchmark, study)
+    assert backends_checked >= 1
+
+
+def test_dawa_partition_numba_speedup(benchmark):
+    """The compiled survivor scan must hold >= 2x over the numpy reference at
+    n = 2**17 in the noise-dominated regime (where pruning barely bites and
+    the scan is the whole cost)."""
+    if not numba_available():
+        pytest.skip("numba not installed; no compiled backend to gate")
+
+    def study():
+        n = 2**17
+        rng = np.random.default_rng(20160626)
+        x = rng.integers(0, 3, n).astype(float)
+        noisy = x + rng.laplace(0.0, 50.0, n)
+        with use_backend("numba"):
+            l1_partition(noisy[: 2**12], 10.0)  # JIT warm-up
+        with use_backend("numpy"):
+            t_numpy, b_numpy = _time_once(lambda: l1_partition(noisy, 10.0))
+        with use_backend("numba"):
+            t_numba, b_numba = _time_once(lambda: l1_partition(noisy, 10.0))
+        assert b_numba == b_numpy, "backends disagreed on the partition"
+        rows = [
+            {"backend": "numpy", "seconds": t_numpy, "speedup": 1.0},
+            {"backend": "numba", "seconds": t_numba,
+             "speedup": t_numpy / t_numba},
+        ]
+        return rows, t_numpy / t_numba
+
+    rows, speedup = run_once(benchmark, study)
+    report("bench_dawa_numba_speedup",
+           "DAWA L1 partition backends (n=2^17, noise-dominated)",
+           format_table(rows, floatfmt="{:.4f}"))
+    assert speedup >= 2.0, \
+        f"numba partition core only {speedup:.2f}x over the numpy reference"

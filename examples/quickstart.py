@@ -12,6 +12,7 @@ Run with:  python examples/quickstart.py
 from __future__ import annotations
 
 import tempfile
+import time
 from pathlib import Path
 
 import numpy as np
@@ -262,6 +263,33 @@ def main() -> None:
     service.release(dataset.counts, rng=9)
     print(f"after re-release (v{service.version}), same range: "
           f"{service.query(100, 200):.1f}")
+
+    # 11. Million-cell domains and picking a kernel backend.  The hot inner
+    #     loops — DAWA's partition scan, the two-pass tree GLS, the plan
+    #     noise draws — dispatch through a kernel registry
+    #     (repro.core.kernels).  A pure-numpy reference is always there; if
+    #     numba is installed the compiled backends are picked up
+    #     automatically, and every backend is bitwise-identical, so results
+    #     never depend on what happens to be installed.  Set
+    #     DPBENCH_KERNEL=numpy|numba to force a backend (numba without numba
+    #     installed fails loudly rather than silently falling back), or pin
+    #     one in code with kernels.use_backend(...).  The tree solver
+    #     streams its levels in fixed 32k-row blocks, so even a 2**20-leaf
+    #     solve allocates only O(nodes) state — benchmarks/
+    #     bench_large_domain.py records the wall-clock scaling at n = 2**14,
+    #     2**17, 2**20 and 1024x1024.
+    from repro.core import kernels
+
+    print(f"\nkernel backend: {kernels.active_backend()} "
+          f"(numba available: {kernels.numba_available()}; "
+          f"kernels: {', '.join(kernels.kernel_names())})")
+    big_n = 2**17                       # keep the demo snappy; the bench goes to 2**20
+    big = np.zeros(big_n)
+    big[rng.integers(0, big_n, 500)] = rng.integers(1, 50, 500)
+    t0 = time.perf_counter()
+    big_release = repro.make_algorithm("H").run(big, epsilon, rng=10)
+    print(f"H on a {big_n:,}-cell domain: {time.perf_counter() - t0:.1f}s, "
+          f"total {big_release.sum():,.0f} (true {big.sum():,.0f})")
 
 
 def _noisy_tree_measurements(x, tree, epsilon):

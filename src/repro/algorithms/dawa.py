@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.kernels import get_kernel
 from ..core.measurement import MeasurementSet
 from ..core.plan import MeasurementPlan, measure_plan
 from ..workload.builders import prefix_workload
@@ -188,32 +189,23 @@ def l1_partition(noisy: np.ndarray, bucket_penalty: float,
     keep[:, 0] = False
 
     # Survivors in (end, ascending length) order — the reference loop's
-    # evaluation order, so ties break identically.
+    # evaluation order, so ties break identically.  The exact sequential
+    # recurrence over the survivors is the dispatched ``l1_partition_core``
+    # kernel: the pure-python reference, or the compiled scalar loop under
+    # the numba backend (same float64 operations in the same order, so the
+    # partitions are bitwise-identical either way).  This scan dominates in
+    # the noise-dominated regime, where pruning barely reduces the
+    # candidate set and almost every (end, length) pair survives.
     surv_end, surv_j = np.nonzero(keep.T)
-    s_end = surv_end.tolist()
-    s_end.append(n + 1)               # sentinel: never equals a real cell
-    s_len = lengths_arr[surv_j].tolist()
-    s_cost = aligned[surv_j, surv_end].tolist()
-    c1 = interval_cost[0].tolist()
+    s_end = np.empty(surv_end.size + 1, dtype=np.int64)
+    s_end[:-1] = surv_end
+    s_end[-1] = n + 1                 # sentinel: never equals a real cell
+    s_len = lengths_arr[surv_j].astype(np.int64)
+    s_cost = np.ascontiguousarray(aligned[surv_j, surv_end])
+    c1 = np.ascontiguousarray(interval_cost[0])
 
-    dp = [0.0] * (n + 1)
-    choice = [1] * (n + 1)
-    ptr = 0
-    prev = 0.0
-    i = 0
-    for cost_1 in c1:
-        i += 1
-        best = prev + cost_1
-        best_length = 1
-        while s_end[ptr] == i:
-            length = s_len[ptr]
-            candidate = dp[i - length] + s_cost[ptr]
-            if candidate < best:
-                best, best_length = candidate, length
-            ptr += 1
-        dp[i] = best
-        choice[i] = best_length
-        prev = best
+    core = get_kernel("l1_partition_core")
+    choice = core(c1, s_end, s_len, s_cost)
     return _backtrack(choice, n)
 
 

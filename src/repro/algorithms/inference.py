@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..core.kernels import get_kernel
 from .tree import HierarchicalTree
 
 __all__ = ["tree_least_squares", "inverse_variance_combine"]
@@ -37,14 +38,17 @@ def inverse_variance_combine(values: np.ndarray, variances: np.ndarray) -> tuple
     return estimate, float(1.0 / total_weight)
 
 
-def _inference_plan(tree: HierarchicalTree) -> list[list[dict]]:
-    """Level-by-level execution plan for the two-pass solver (cached on the
-    tree).
+def _inference_plan(tree: HierarchicalTree) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Execution plan for the two-pass solver (cached on the tree): groups of
+    ``(parents, children)`` index arrays in top-down level order.
 
     Per level, internal nodes are grouped by child count ``k`` so that every
     group reduces an exact ``(rows, k)`` matrix — reductions then reproduce
     the per-node float operations of the original node-at-a-time solver
     bit-for-bit (see the summation notes in :func:`tree_least_squares`).
+    A node's children always live one level below it, so the flattened
+    group list streamed top-down (pass 2) or bottom-up (pass 1) preserves
+    the historical level-by-level data dependencies exactly.
     """
     plan = getattr(tree, "_ls_plan", None)
     if plan is not None:
@@ -55,13 +59,11 @@ def _inference_plan(tree: HierarchicalTree) -> list[list[dict]]:
         for node in level_nodes:
             if node.children:
                 by_k.setdefault(len(node.children), []).append(node)
-        groups = []
         for k, nodes in sorted(by_k.items()):
-            groups.append({
-                "parents": np.array([n.index for n in nodes], dtype=np.intp),
-                "children": np.array([n.children for n in nodes], dtype=np.intp),
-            })
-        plan.append(groups)
+            plan.append((
+                np.array([n.index for n in nodes], dtype=np.intp),
+                np.array([n.children for n in nodes], dtype=np.intp),
+            ))
     tree._ls_plan = plan
     return plan
 
@@ -97,12 +99,15 @@ def tree_least_squares(
     their pass-1 variances.  For trees this reproduces the exact generalized
     least-squares solution.
 
-    Both passes are executed level-by-level with the nodes of equal child
-    count batched into ``(rows, k)`` matrices.  The float-operation order of
-    the historical node-at-a-time implementation is preserved exactly —
-    pass-1 child sums accumulate column-by-column (Python ``sum`` was
-    sequential) while pass-2 reductions use numpy's pairwise ``sum`` over
-    length-``k`` rows, as before — so results are bitwise identical.
+    Both passes stream the level plan in fixed-size row blocks
+    (:data:`repro.core.kernels.TREE_BLOCK`) via the dispatched
+    ``tree_two_pass`` kernel, so no per-level dense intermediate outgrows the
+    block even at 2**20 leaves.  The float-operation order of the historical
+    node-at-a-time implementation is preserved exactly — pass-1 child sums
+    accumulate column-by-column (Python ``sum`` was sequential) while pass-2
+    reductions use numpy's pairwise ``sum`` over length-``k`` rows (which the
+    compiled backend replicates element-for-element) — and chunking rows
+    changes no per-row operation, so results are bitwise identical.
     """
     n_nodes = len(tree.nodes)
     measurements = np.asarray(measurements, dtype=float)
@@ -118,56 +123,8 @@ def tree_least_squares(
     own_values[unmeasured] = 0.0
     own_vars[unmeasured] = np.inf
 
-    # Pass 1: bottom-up.  Leaves carry their own measurement; internal nodes
-    # combine it with the sum of their children's estimates by inverse
-    # variance.  Starting from the leaves' own values lets every level's
-    # children be ready when the level above is processed.
-    combined = own_values.copy()
-    combined_var = own_vars.copy()
-    for groups in reversed(plan):
-        for group in groups:
-            parents, children = group["parents"], group["children"]
-            # Sequential left-to-right accumulation (exactly Python's sum()).
-            child_sum = combined[children[:, 0]].copy()
-            child_var = combined_var[children[:, 0]].copy()
-            for j in range(1, children.shape[1]):
-                child_sum += combined[children[:, j]]
-                child_var += combined_var[children[:, j]]
-            v_own, s_own = own_values[parents], own_vars[parents]
-            with np.errstate(divide="ignore"):
-                w_own = np.where(np.isfinite(s_own) & (s_own > 0), 1.0 / s_own, 0.0)
-                w_child = np.where(np.isfinite(child_var) & (child_var > 0),
-                                   1.0 / child_var, 0.0)
-            total_weight = w_own + w_child
-            with np.errstate(invalid="ignore", divide="ignore"):
-                estimate = np.where(
-                    total_weight > 0,
-                    (w_own * v_own + w_child * child_sum) / total_weight,
-                    (v_own + child_sum) / 2.0,
-                )
-                variance = np.where(total_weight > 0, 1.0 / total_weight, np.inf)
-            combined[parents] = estimate
-            combined_var[parents] = variance
-
-    # Pass 2: top-down consistency adjustment.
-    final = combined.copy()
-    for groups in plan:
-        for group in groups:
-            parents, children = group["parents"], group["children"]
-            k = children.shape[1]
-            child_estimates = combined[children]
-            child_variances = combined_var[children]
-            # numpy pairwise sum over length-k rows, as the original did.
-            residual = final[parents] - child_estimates.sum(axis=1)
-            finite = np.isfinite(child_variances)
-            capped = np.where(finite, child_variances, 0.0)
-            total = capped.sum(axis=1)
-            uniform = (~finite.any(axis=1)) | (total <= 0)
-            with np.errstate(invalid="ignore", divide="ignore"):
-                shares = np.where(uniform[:, None],
-                                  np.full((1, k), 1.0 / k),
-                                  capped / total[:, None])
-            final[children.ravel()] = (
-                child_estimates + residual[:, None] * shares).ravel()
-
-    return final
+    # Pass 1 (bottom-up) combines each node's measurement with its children's
+    # estimates by inverse variance; pass 2 (top-down) distributes the
+    # parent/child-sum residuals.  Both live in the streaming kernel.
+    solve = get_kernel("tree_two_pass")
+    return solve(plan, own_values, own_vars)

@@ -56,6 +56,7 @@ from .executor import (
     root_entropy_from,
 )
 from .generator import DataGenerator
+from .kernels import active_backend
 from .results import ExperimentSetting, ResultSet, RunRecord, read_jsonl_entries
 
 __all__ = ["BenchmarkGrid", "DPBench"]
@@ -270,8 +271,10 @@ class DPBench:
                 raise
             return RunRecord(setting=setting, algorithm=name,
                              errors=np.array([]), failed=True,
-                             failure_message=f"{type(exc).__name__}: {exc}")
-        return RunRecord(setting=setting, algorithm=name, errors=np.array(errors))
+                             failure_message=f"{type(exc).__name__}: {exc}",
+                             extra={"kernel_backend": active_backend()})
+        return RunRecord(setting=setting, algorithm=name, errors=np.array(errors),
+                         extra={"kernel_backend": active_backend()})
 
     # -- execution --------------------------------------------------------------------
     def run(

@@ -43,6 +43,7 @@ import numpy as np
 from ..algorithms.mechanisms import PrivacyBudget
 from ..workload.linops import QueryMatrix, _expand_runs
 from .gls import solve_gls
+from .kernels import batched_laplace
 from .measurement import MeasurementSet
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -266,10 +267,14 @@ def measure_plan(
         vector = plan.measurement_vector(x)
         answers = plan.queries.matvec(vector)
         scales = 1.0 / plan.epsilons[mask]
-        # One vectorised draw with a per-query scale vector consumes the
-        # generator stream exactly like the historical per-query scalar
-        # draws (bitwise-identical variates in the same order).
-        values[mask] = answers[mask] + rng.laplace(0.0, scales)
+        # Batched noise: one generator call per constant-scale run (tree
+        # levels and bucket groups share a scale, so a whole epsilon grid of
+        # queries collapses to a handful of draws).  The generator consumes
+        # one double per variate regardless of batching, so the stream — and
+        # therefore every executor result — is bitwise-identical to the
+        # historical per-query scalar draws (pinned by the stream-identity
+        # tests).
+        values[mask] = answers[mask] + batched_laplace(rng, scales)
         variances[mask] = 2.0 * scales ** 2
 
     if budget is not None:

@@ -18,19 +18,30 @@ class PrefixSum:
 
     The table is padded with a leading row/column of zeros so that inclusive
     range sums are single expressions without boundary special cases.
+
+    Accumulation is performed explicitly in ``float64`` regardless of the
+    input dtype (so e.g. ``float32`` or integer inputs are promoted before the
+    running sums, never summed in a narrower type).  ``cumsum`` accumulates
+    sequentially, so the classic recursive-summation bound applies: entry
+    ``k`` of the table satisfies ``|table[k] - exact| <= (k - 1) * eps *
+    sum(|x_i|)`` with ``eps = 2**-53`` — about ``2.3e-10`` relative error even
+    for a million-cell domain, negligible against differential-privacy noise.
+    Integer-count histograms whose running totals stay below ``2**53`` are
+    represented exactly (every partial sum is an integer-valued float64), so
+    range sums over raw counts incur no rounding at all.
     """
 
     def __init__(self, x: np.ndarray):
-        x = np.asarray(x, dtype=float)
+        x = np.asarray(x, dtype=np.float64)
         if x.ndim not in (1, 2):
             raise ValueError(f"only 1-D and 2-D arrays are supported, got ndim={x.ndim}")
         self._shape = x.shape
         if x.ndim == 1:
-            table = np.zeros(x.shape[0] + 1)
-            np.cumsum(x, out=table[1:])
+            table = np.zeros(x.shape[0] + 1, dtype=np.float64)
+            np.cumsum(x, dtype=np.float64, out=table[1:])
         else:
-            table = np.zeros((x.shape[0] + 1, x.shape[1] + 1))
-            table[1:, 1:] = x.cumsum(axis=0).cumsum(axis=1)
+            table = np.zeros((x.shape[0] + 1, x.shape[1] + 1), dtype=np.float64)
+            table[1:, 1:] = x.cumsum(axis=0, dtype=np.float64).cumsum(axis=1, dtype=np.float64)
         self._table = table
 
     @property
