@@ -291,6 +291,47 @@ def main() -> None:
     print(f"H on a {big_n:,}-cell domain: {time.perf_counter() - t0:.1f}s, "
           f"total {big_release.sum():,.0f} (true {big.sum():,.0f})")
 
+    # 12. Catching a privacy leak — twice.  DPBench's numbers are only
+    #     meaningful if the implementations are actually private, so the
+    #     repo gates its own invariants with repro.privlint: six AST rules
+    #     (PL001-PL006) run in CI (`python -m repro.privlint src`), and a
+    #     runtime taint sanitizer re-checks every registered algorithm
+    #     dynamically.  Here is a deliberately leaky selection strategy —
+    #     it stashes the true histogram during selection and blends it back
+    #     into the release after the noise stage (the classic
+    #     "post-processing reads the data" bug):
+    leaky_source = '''
+class LeakyUniform(PlanAlgorithm):
+    def select(self, x, workload, budget, rng):
+        self._x = x                               # stash the true data
+        return uniform_plan(x.shape, budget)
+
+    def infer(self, measurements, plan):
+        estimate = reconstruct(plan, measurements)
+        return 0.5 * estimate + 0.5 * self._x     # unnoised true mass!
+'''
+    #     Statically, PL002 (post-processing purity) flags the self._x read
+    #     inside infer() from the source text alone:
+    from repro.privlint import RULES_BY_ID, is_tainted, lint_source, taint
+    from repro.privlint.taint import sanitized_noise_stage
+
+    lint = lint_source(leaky_source, "examples/leaky.py",
+                       [RULES_BY_ID["PL002"]])
+    for finding in lint.findings:
+        print(f"privlint: {finding.location()}: {finding.rule} "
+              f"{finding.message}")
+    #     Dynamically, the taint sanitizer catches the same leak as a flow:
+    #     run on a tainted histogram, a release is clean only if every
+    #     data-derived value passed through the metered noise stage.  The
+    #     honest Uniform comes out clean; a leaky blend stays tainted.
+    tainted_counts = taint(dataset.counts.copy())
+    with sanitized_noise_stage():
+        honest = repro.make_algorithm("Uniform").run(
+            tainted_counts, epsilon, rng=12)
+        leaky = 0.5 * honest + 0.5 * tainted_counts   # the same bug, inline
+    print(f"honest release tainted: {is_tainted(honest)}; "
+          f"leaky release tainted: {is_tainted(leaky)}")
+
 
 def _noisy_tree_measurements(x, tree, epsilon):
     """Hand-rolled node measurements for the quickstart's section 6."""

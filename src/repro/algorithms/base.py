@@ -67,7 +67,9 @@ def validate_input(x: np.ndarray, epsilon: float, supported_dims: tuple[int, ...
     dtype, nested lists) its result is a fresh array and is returned as-is.
     """
     original = x
-    x = np.asarray(x, dtype=float)
+    # asanyarray, not asarray: ndarray subclasses (the taint sanitizer's
+    # TaintedArray in particular) must survive validation.
+    x = np.asanyarray(x, dtype=float)
     if x.ndim not in supported_dims:
         raise ValueError(
             f"input has dimensionality {x.ndim}, supported: {supported_dims}"
@@ -145,7 +147,9 @@ class Algorithm(ABC):
         x = validate_input(x, epsilon, self.properties.supported_dims)
         rng = as_rng(rng)
         x_hat = self._run(x, float(epsilon), workload, rng)
-        x_hat = np.asarray(x_hat, dtype=float)
+        # asanyarray: a subclass-carrying result (e.g. a still-tainted
+        # release under the taint sanitizer) must not be laundered here.
+        x_hat = np.asanyarray(x_hat, dtype=float)
         if x_hat.shape != x.shape:
             raise RuntimeError(
                 f"{self.name} returned shape {x_hat.shape}, expected {x.shape}"

@@ -65,7 +65,10 @@ class EFPA(Algorithm):
         chosen = exponential_mechanism(scores, eps_select, sensitivity=2.0, rng=rng)
         k = int(ks[chosen])
 
-        retained = coefficients[:k] + laplace_noise(
+        # Bespoke transform-domain mechanism (documented plan-pipeline
+        # exemption): the draw's scale is eps_noise, charged from the shared
+        # budget via spend_all above.
+        retained = coefficients[:k] + laplace_noise(  # privlint: disable=PL003
             k * per_coefficient_sensitivity / eps_noise, k, rng
         )
         noisy_coefficients = np.zeros(n)

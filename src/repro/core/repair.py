@@ -61,7 +61,9 @@ class SideInformationRepair(Algorithm):
         budget = PrivacyBudget(epsilon)
         eps_scale = budget.spend_fraction(self._rho_total, "scale-estimate")
         eps_rest = budget.spend_all("inner-algorithm")
-        noisy_scale = max(float(x.sum()) + float(laplace_noise(1.0 / eps_scale, (), rng)), 1.0)
+        # Scale-estimate noise: eps_scale was charged by spend_fraction just
+        # above; float(x.sum()) is declassified by the immediately-added draw.
+        noisy_scale = max(float(x.sum()) + float(laplace_noise(1.0 / eps_scale, (), rng)), 1.0)  # privlint: disable=PL003
 
         parameter_name = _SCALE_PARAMETER.get(self._inner.name)
         if parameter_name is not None and parameter_name in self._inner.params:

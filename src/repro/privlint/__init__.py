@@ -1,0 +1,52 @@
+"""Privacy-invariant static analysis + runtime taint sanitizer for DPBench.
+
+The benchmark's thesis — DP algorithm evaluations are only trustworthy if the
+implementations are actually private and deterministic end-to-end — is
+enforced here on two fronts:
+
+* **statically**: AST rules PL001-PL006 (:mod:`repro.privlint.rules`) gate
+  the invariants this repository has already been burned by — fresh RNGs
+  outside the executor, true data reaching post-processing, unmetered noise
+  draws, raw epsilon splits, unlocked lazy caches in thread-shared classes,
+  non-compilable njit kernel sources.  Run ``python -m repro.privlint src``
+  (CI does, against the committed ``privlint-baseline.json``).
+* **dynamically**: the taint sanitizer (:mod:`repro.privlint.taint`) runs
+  every registered algorithm on a tainted histogram and asserts the release's
+  taint is cleared *only* by the metered noise stage.
+
+Inline suppressions use ``# privlint: disable=PLxxx`` with a justifying
+comment; grandfathered findings live in the committed baseline.
+"""
+
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .engine import LintResult, ModuleContext, lint_paths, lint_source
+from .findings import Finding, Rule
+from .rules import DEFAULT_RULES, RULES_BY_ID
+from .taint import (
+    SanitizedNoise,
+    TaintedArray,
+    is_tainted,
+    sanitize,
+    sanitized_noise_stage,
+    taint,
+)
+
+__all__ = [
+    "DEFAULT_RULES",
+    "Finding",
+    "LintResult",
+    "ModuleContext",
+    "RULES_BY_ID",
+    "Rule",
+    "SanitizedNoise",
+    "TaintedArray",
+    "apply_baseline",
+    "is_tainted",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "sanitize",
+    "sanitized_noise_stage",
+    "taint",
+    "write_baseline",
+]

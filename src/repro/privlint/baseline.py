@@ -1,0 +1,73 @@
+"""Committed-baseline support: grandfather old findings, gate new ones.
+
+The baseline is a small JSON document committed to the repository (by
+convention ``privlint-baseline.json`` at the root).  Findings are matched by
+``(rule, path, message)`` with a count — line numbers are deliberately not
+part of the identity, so grandfathered findings survive unrelated edits above
+them — and CI fails only on findings *not* covered by the baseline.  The
+intended steady state is an empty baseline: fix or inline-suppress real
+findings and keep this file at ``{"version": 1, "findings": []}``.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from .findings import Finding
+
+__all__ = ["BASELINE_VERSION", "apply_baseline", "load_baseline",
+           "write_baseline"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: str | Path) -> Counter:
+    """Read a baseline file into a ``Counter`` of finding keys."""
+    document = json.loads(Path(path).read_text(encoding="utf-8"))
+    version = document.get("version")
+    if version != BASELINE_VERSION:
+        raise ValueError(
+            f"baseline {path} has version {version!r}; this linter reads "
+            f"version {BASELINE_VERSION}")
+    keys: Counter = Counter()
+    for entry in document.get("findings", []):
+        key = (entry["rule"], entry["path"], entry["message"])
+        keys[key] += int(entry.get("count", 1))
+    return keys
+
+
+def write_baseline(path: str | Path, findings: Iterable[Finding]) -> None:
+    """Write the current findings as the new baseline (sorted, counted)."""
+    counts = Counter(f.baseline_key() for f in findings)
+    entries = [
+        {"rule": rule, "path": file_path, "message": message, "count": count}
+        for (rule, file_path, message), count in sorted(counts.items())
+    ]
+    document = {"version": BASELINE_VERSION, "findings": entries}
+    Path(path).write_text(json.dumps(document, indent=2) + "\n",
+                          encoding="utf-8")
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Counter
+) -> tuple[list[Finding], list[Finding], Counter]:
+    """Split ``findings`` into (new, grandfathered) against the baseline.
+
+    Also returns the *stale* baseline entries — grandfathered findings that no
+    longer occur, which the CLI reports so the baseline shrinks over time.
+    """
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    grandfathered: list[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if remaining[key] > 0:
+            remaining[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    stale = Counter({k: c for k, c in remaining.items() if c > 0})
+    return new, grandfathered, stale

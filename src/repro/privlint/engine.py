@@ -1,0 +1,215 @@
+"""The lint engine: parse modules, run rules, honour inline suppressions.
+
+The engine is deliberately self-contained (stdlib ``ast`` only) so the CLI can
+run in any environment that can import the package.  A module is parsed once
+into a :class:`ModuleContext` carrying the AST, a parent map and the resolved
+numpy import aliases; every rule walks that shared context.
+
+Inline suppressions follow the familiar lint idiom::
+
+    noisy = x + laplace_noise(scale, n, rng)  # privlint: disable=PL003
+
+``disable=PL003,PL004`` silences several rules on one line and
+``disable=all`` silences every rule; the comment must sit on the line the
+finding is reported at (the first line of a multi-line statement).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .findings import Finding, Rule
+
+__all__ = ["LintResult", "ModuleContext", "lint_paths", "lint_source"]
+
+_SUPPRESS_RE = re.compile(r"#\s*privlint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map line number -> rule ids suppressed on that line (``{"all"}`` for all)."""
+    suppressions: dict[int, set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match:
+            rules = {token.strip() for token in match.group(1).split(",")}
+            suppressions[lineno] = {r for r in rules if r}
+    return suppressions
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to know about one parsed module."""
+
+    path: str                      #: path as reported in findings (posix)
+    source: str
+    tree: ast.Module
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.numpy_aliases, self.numpy_random_aliases, self.from_imports = (
+            _collect_imports(self.tree))
+
+    # -- tree navigation ----------------------------------------------------------
+    def parent(self, node: ast.AST) -> ast.AST | None:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_functions(self, node: ast.AST) -> list[ast.FunctionDef]:
+        """Innermost-first chain of function definitions containing ``node``."""
+        return [a for a in self.ancestors(node)
+                if isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))]
+
+    def enclosing_class(self, node: ast.AST) -> ast.ClassDef | None:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.ClassDef):
+                return ancestor
+        return None
+
+    # -- name resolution ----------------------------------------------------------
+    def dotted_name(self, node: ast.AST) -> str | None:
+        """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+        parts: list[str] = []
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if isinstance(node, ast.Name):
+            parts.append(node.id)
+            return ".".join(reversed(parts))
+        return None
+
+    def is_numpy_random_call(self, call: ast.Call, attrs: set[str]) -> str | None:
+        """The matched attribute if ``call`` invokes ``numpy.random.<attr>``.
+
+        Resolves ``import numpy as np`` / ``from numpy import random`` /
+        ``from numpy.random import default_rng`` spellings.
+        """
+        name = self.dotted_name(call.func)
+        if name is None:
+            return None
+        parts = name.split(".")
+        if len(parts) == 3 and parts[0] in self.numpy_aliases \
+                and parts[1] == "random" and parts[2] in attrs:
+            return parts[2]
+        if len(parts) == 2 and parts[0] in self.numpy_random_aliases \
+                and parts[1] in attrs:
+            return parts[1]
+        if len(parts) == 1 and self.from_imports.get(parts[0]) in {
+                f"numpy.random.{attr}" for attr in attrs}:
+            return self.from_imports[parts[0]].rsplit(".", 1)[1]
+        return None
+
+    def path_is(self, *suffixes: str) -> bool:
+        """True when the module path ends with any of the posix ``suffixes``."""
+        return any(self.path.endswith(suffix) for suffix in suffixes)
+
+    # -- findings -----------------------------------------------------------------
+    def finding(self, rule: Rule, node: ast.AST | int, message: str) -> Finding:
+        line = node if isinstance(node, int) else getattr(node, "lineno", 1)
+        return Finding(path=self.path, line=line, rule=rule.id,
+                       severity=rule.severity, message=message)
+
+
+def _collect_imports(tree: ast.Module):
+    numpy_aliases: set[str] = set()
+    numpy_random_aliases: set[str] = set()
+    from_imports: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "numpy":
+                    numpy_aliases.add(alias.asname or "numpy")
+                elif alias.name == "numpy.random":
+                    numpy_random_aliases.add(alias.asname or "numpy.random")
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.module == "numpy":
+                for alias in node.names:
+                    if alias.name == "random":
+                        numpy_random_aliases.add(alias.asname or "random")
+                    else:
+                        from_imports[alias.asname or alias.name] = \
+                            f"numpy.{alias.name}"
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    from_imports[alias.asname or alias.name] = \
+                        f"numpy.random.{alias.name}"
+    return numpy_aliases, numpy_random_aliases, from_imports
+
+
+@dataclass
+class LintResult:
+    """Findings of one run, with the suppression bookkeeping kept visible."""
+
+    findings: list[Finding]
+    suppressed: list[Finding]
+    errors: list[str]          #: unparseable files, reported not swallowed
+
+    @property
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.findings else 0
+
+
+def lint_source(source: str, path: str, rules: Sequence[Rule],
+                filename: str | None = None) -> LintResult:
+    """Lint one in-memory module (the seam the tests and quickstart use)."""
+    try:
+        tree = ast.parse(source, filename=filename or path)
+    except SyntaxError as exc:
+        return LintResult([], [], [f"{path}: syntax error: {exc}"])
+    module = ModuleContext(path=path, source=source, tree=tree,
+                           suppressions=parse_suppressions(source))
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    for rule in rules:
+        for finding in rule.check(module):
+            disabled = module.suppressions.get(finding.line, ())
+            if "all" in disabled or finding.rule in disabled:
+                suppressed.append(finding)
+            else:
+                findings.append(finding)
+    findings.sort()
+    suppressed.sort()
+    return LintResult(findings, suppressed, [])
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            yield from sorted(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            yield path
+
+
+def lint_paths(paths: Iterable[str | Path], rules: Sequence[Rule]) -> LintResult:
+    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+    findings: list[Finding] = []
+    suppressed: list[Finding] = []
+    errors: list[str] = []
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            errors.append(f"{file_path.as_posix()}: {exc}")
+            continue
+        result = lint_source(source, file_path.as_posix(), rules)
+        findings.extend(result.findings)
+        suppressed.extend(result.suppressed)
+        errors.extend(result.errors)
+    findings.sort()
+    suppressed.sort()
+    return LintResult(findings, suppressed, errors)

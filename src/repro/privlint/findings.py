@@ -1,0 +1,74 @@
+"""Finding records and the Rule protocol of the privacy-invariant linter.
+
+A :class:`Finding` is one violation of one rule at one source location; the
+whole subsystem trades in immutable findings so that suppression filtering,
+baseline matching and output formatting are plain set/list operations.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ModuleContext
+
+__all__ = ["Finding", "Rule", "SEVERITIES"]
+
+#: Recognised severities, most severe first.  Every shipped rule is an
+#: ``error`` (CI gates on them); ``warning`` exists for advisory rules.
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str       #: posix-style path as given to the linter
+    line: int       #: 1-based source line
+    rule: str       #: rule id, e.g. ``"PL001"``
+    severity: str   #: ``"error"`` or ``"warning"``
+    message: str    #: human-readable description of the violation
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}"
+
+    def baseline_key(self) -> tuple[str, str, str]:
+        """Identity used for baseline matching.
+
+        Deliberately excludes the line number so grandfathered findings
+        survive unrelated edits above them; a file can carry the same
+        (rule, message) more than once, which the baseline handles by count.
+        """
+        return (self.rule, self.path, self.message)
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+        }
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """One privacy invariant, checked module-by-module over the AST.
+
+    Implementations are stateless: :meth:`check` receives a fully parsed
+    :class:`~repro.privlint.engine.ModuleContext` and yields findings.
+    """
+
+    id: str
+    name: str
+    description: str
+    severity: str
+
+    def check(self, module: "ModuleContext") -> Iterable[Finding]:
+        ...  # pragma: no cover - protocol
+
+
+def node_line(node: ast.AST) -> int:
+    return getattr(node, "lineno", 1)

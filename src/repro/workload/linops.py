@@ -51,6 +51,10 @@ class QueryMatrix:
         upper corners of every query.
     domain_shape:
         Shape of the count array the queries refer to (1-D or 2-D).
+
+    Instances are thread-shared by the parallel executor: every lazy cache
+    must be built under ``self._lock`` and published exactly once (privlint
+    rule PL005 enforces this).
     """
 
     def __init__(self, los: np.ndarray, his: np.ndarray, domain_shape: tuple[int, ...]):

@@ -77,6 +77,9 @@ class Workload:
         ``(128, 128)``.  Every query must fit inside the domain.
     name:
         Optional human-readable name used in reports.
+
+    Instances are thread-shared by the parallel executor: lazy caches are
+    built under ``self._lock`` and published once (privlint rule PL005).
     """
 
     def __init__(
