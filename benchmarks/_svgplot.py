@@ -1,0 +1,114 @@
+"""Minimal hand-rolled SVG line plots for the bench snapshots.
+
+The container deliberately ships without matplotlib, so the scaling figures
+are emitted as plain SVG: log-log line plots with power-of-two/decade ticks,
+one polyline per series.  The output is deterministic (no timestamps, no
+random ids) so committed snapshots diff cleanly.
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+__all__ = ["line_plot"]
+
+_COLORS = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"]
+
+_WIDTH, _HEIGHT = 720, 460
+_MARGIN_L, _MARGIN_R, _MARGIN_T, _MARGIN_B = 80, 160, 48, 56
+
+
+def _log_ticks(lo: float, hi: float, base: float) -> list[float]:
+    first = math.floor(math.log(lo, base))
+    last = math.ceil(math.log(hi, base))
+    return [base ** e for e in range(first, last + 1)]
+
+
+def _fmt(value: float) -> str:
+    if value >= 1024 and math.log2(value).is_integer():
+        return f"2^{int(math.log2(value))}"
+    if value >= 1:
+        return f"{value:g}"
+    return f"{value:.3g}"
+
+
+def line_plot(
+    path: str | Path,
+    series: dict[str, list[tuple[float, float]]],
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    x_base: float = 2.0,
+    y_base: float = 10.0,
+) -> Path:
+    """Write a log-log line plot of ``{name: [(x, y), ...]}`` to ``path``."""
+    points = [p for pts in series.values() for p in pts if p[1] > 0]
+    if not points:
+        raise ValueError("nothing to plot")
+    x_lo = min(p[0] for p in points)
+    x_hi = max(p[0] for p in points)
+    y_lo = min(p[1] for p in points)
+    y_hi = max(p[1] for p in points)
+    x_ticks = _log_ticks(x_lo, x_hi, x_base)
+    y_ticks = _log_ticks(y_lo, y_hi, y_base)
+    x_min, x_max = math.log(x_ticks[0]), math.log(x_ticks[-1])
+    y_min, y_max = math.log(y_ticks[0]), math.log(y_ticks[-1])
+    plot_w = _WIDTH - _MARGIN_L - _MARGIN_R
+    plot_h = _HEIGHT - _MARGIN_T - _MARGIN_B
+
+    def sx(x: float) -> float:
+        if x_max == x_min:
+            return _MARGIN_L + plot_w / 2
+        return _MARGIN_L + (math.log(x) - x_min) / (x_max - x_min) * plot_w
+
+    def sy(y: float) -> float:
+        if y_max == y_min:
+            return _MARGIN_T + plot_h / 2
+        return _MARGIN_T + plot_h - (math.log(y) - y_min) / (y_max - y_min) * plot_h
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+        f'height="{_HEIGHT}" viewBox="0 0 {_WIDTH} {_HEIGHT}" '
+        f'font-family="monospace" font-size="12">',
+        f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>',
+        f'<text x="{_WIDTH / 2:.1f}" y="24" text-anchor="middle" '
+        f'font-size="14">{title}</text>',
+    ]
+    for tick in x_ticks:
+        x = sx(tick)
+        parts.append(f'<line x1="{x:.1f}" y1="{_MARGIN_T}" x2="{x:.1f}" '
+                     f'y2="{_MARGIN_T + plot_h}" stroke="#dddddd"/>')
+        parts.append(f'<text x="{x:.1f}" y="{_MARGIN_T + plot_h + 18}" '
+                     f'text-anchor="middle">{_fmt(tick)}</text>')
+    for tick in y_ticks:
+        y = sy(tick)
+        parts.append(f'<line x1="{_MARGIN_L}" y1="{y:.1f}" '
+                     f'x2="{_MARGIN_L + plot_w}" y2="{y:.1f}" stroke="#dddddd"/>')
+        parts.append(f'<text x="{_MARGIN_L - 8}" y="{y + 4:.1f}" '
+                     f'text-anchor="end">{_fmt(tick)}</text>')
+    parts.append(f'<rect x="{_MARGIN_L}" y="{_MARGIN_T}" width="{plot_w}" '
+                 f'height="{plot_h}" fill="none" stroke="#333333"/>')
+    parts.append(f'<text x="{_MARGIN_L + plot_w / 2:.1f}" '
+                 f'y="{_HEIGHT - 12}" text-anchor="middle">{xlabel}</text>')
+    parts.append(f'<text x="20" y="{_MARGIN_T + plot_h / 2:.1f}" '
+                 f'text-anchor="middle" transform="rotate(-90 20 '
+                 f'{_MARGIN_T + plot_h / 2:.1f})">{ylabel}</text>')
+    for i, (name, pts) in enumerate(series.items()):
+        color = _COLORS[i % len(_COLORS)]
+        pts = sorted(p for p in pts if p[1] > 0)
+        coords = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in pts)
+        parts.append(f'<polyline points="{coords}" fill="none" '
+                     f'stroke="{color}" stroke-width="2"/>')
+        for x, y in pts:
+            parts.append(f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" '
+                         f'fill="{color}"/>')
+        ly = _MARGIN_T + 14 + 18 * i
+        lx = _MARGIN_L + plot_w + 12
+        parts.append(f'<line x1="{lx}" y1="{ly - 4}" x2="{lx + 22}" '
+                     f'y2="{ly - 4}" stroke="{color}" stroke-width="2"/>')
+        parts.append(f'<text x="{lx + 28}" y="{ly}">{name}</text>')
+    parts.append("</svg>")
+    path = Path(path)
+    path.write_text("\n".join(parts) + "\n", encoding="utf8")
+    return path

@@ -10,3 +10,9 @@ from pathlib import Path
 BENCH_DIR = str(Path(__file__).resolve().parent)
 if BENCH_DIR not in sys.path:
     sys.path.insert(0, BENCH_DIR)
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "large_domain: 16M-cell end-to-end legs (run with DPBENCH_LARGE=1)")

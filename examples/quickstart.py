@@ -332,6 +332,34 @@ class LeakyUniform(PlanAlgorithm):
     print(f"honest release tainted: {is_tainted(honest)}; "
           f"leaky release tainted: {is_tainted(leaky)}")
 
+    # 13. A 4096 x 4096 release end-to-end on the flyweight tree.  The
+    #     hierarchy behind the tree algorithms is stored as structure-of-
+    #     arrays (bounds, levels, parents, CSR child offsets) and built by a
+    #     vectorised level-at-a-time pass — no per-node Python objects — so
+    #     the ~22.4M-node tree over a 16.8M-cell grid costs ~48 bytes/node
+    #     and builds in seconds-not-minutes; tree.nodes still hands out
+    #     TreeNode proxies on demand for spot checks.  The full-size
+    #     Identity/GreedyH/DAWA numbers live in benchmarks/results/
+    #     bench_large_domain_4096.json (regenerate with DPBENCH_LARGE=1).
+    from repro.algorithms.tree import HierarchicalTree
+
+    side = 4096
+    t0 = time.perf_counter()
+    tree = HierarchicalTree((side, side))
+    build_s = time.perf_counter() - t0
+    array_bytes = (tree.node_bounds()[0].nbytes + tree.node_bounds()[1].nbytes
+                   + tree.node_parents().nbytes + tree.child_offsets().nbytes)
+    print(f"\nflyweight tree over {side}x{side}: {tree.n_nodes:,} nodes in "
+          f"{build_s:.1f}s, {array_bytes / tree.n_nodes:.0f} bytes/node")
+    grid = np.zeros((side, side))
+    cells = rng.integers(0, side, size=(2000, 2))
+    grid[cells[:, 0], cells[:, 1]] = rng.integers(1, 40, 2000)
+    t0 = time.perf_counter()
+    grid_release = repro.make_algorithm("Identity").run(grid, epsilon, rng=13)
+    print(f"Identity release over {side}x{side} "
+          f"({side * side:,} cells): {time.perf_counter() - t0:.1f}s, "
+          f"total {grid_release.sum():,.0f} (true {grid.sum():,.0f})")
+
 
 def _noisy_tree_measurements(x, tree, epsilon):
     """Hand-rolled node measurements for the quickstart's section 6."""

@@ -46,7 +46,7 @@ def tree_plan(
     level_epsilons = np.asarray(level_epsilons, dtype=float)
     if level_epsilons.size != tree.n_levels:
         raise ValueError("need one epsilon per tree level")
-    levels = np.array([node.level for node in tree.nodes], dtype=np.intp)
+    levels = tree.node_levels()
     return MeasurementPlan(
         queries=tree.as_query_matrix(),
         epsilons=level_epsilons[levels],

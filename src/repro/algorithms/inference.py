@@ -54,16 +54,26 @@ def _inference_plan(tree: HierarchicalTree) -> list[tuple[np.ndarray, np.ndarray
     if plan is not None:
         return plan
     plan = []
-    for level_nodes in tree.levels():
-        by_k: dict[int, list] = {}
-        for node in level_nodes:
-            if node.children:
-                by_k.setdefault(len(node.children), []).append(node)
-        for _k, nodes in sorted(by_k.items()):
-            plan.append((
-                np.array([n.index for n in nodes], dtype=np.intp),
-                np.array([n.children for n in nodes], dtype=np.intp),
-            ))
+    offsets = tree.child_offsets()
+    counts = np.diff(offsets)
+    level_offsets = tree.level_spans()
+    for lvl in range(tree.n_levels):
+        s, e = int(level_offsets[lvl]), int(level_offsets[lvl + 1])
+        level_counts = counts[s:e]
+        internal = np.flatnonzero(level_counts) + s
+        if internal.size == 0:
+            continue
+        internal_counts = level_counts[internal - s]
+        # Groups ordered by ascending k, node order preserved within a group
+        # (np.flatnonzero scans in index order) — the historical grouping.
+        for k in np.unique(internal_counts):
+            k = int(k)
+            parents = internal[internal_counts == k]
+            # Children of node p occupy the contiguous index run starting at
+            # offsets[p] + 1 under the flyweight breadth-first layout.
+            children = offsets[parents][:, None] + np.arange(1, k + 1)
+            plan.append((parents.astype(np.intp, copy=False),
+                         children.astype(np.intp, copy=False)))
     tree._ls_plan = plan
     return plan
 
@@ -109,7 +119,7 @@ def tree_least_squares(
     compiled backend replicates element-for-element) — and chunking rows
     changes no per-row operation, so results are bitwise identical.
     """
-    n_nodes = len(tree.nodes)
+    n_nodes = tree.n_nodes
     measurements = np.asarray(measurements, dtype=float)
     variances = np.asarray(variances, dtype=float)
     if measurements.shape != (n_nodes,) or variances.shape != (n_nodes,):

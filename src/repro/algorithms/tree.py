@@ -4,6 +4,32 @@ Hierarchical algorithms (H, Hb, GreedyH, QuadTree, the second stage of DAWA)
 measure noisy totals of nested blocks of the domain arranged in a tree.  This
 module provides the tree structure, range-query decomposition over the tree,
 and block/cell bookkeeping shared by those algorithms.
+
+Flyweight layout
+----------------
+:class:`HierarchicalTree` stores no per-node Python objects.  The whole
+hierarchy lives in seven flat int64 arrays (structure of arrays):
+
+* ``_lo`` / ``_hi`` — ``(n_nodes, ndim)`` inclusive per-dimension bounds;
+* ``_level`` — ``(n_nodes,)`` depth of every node (root at 0);
+* ``_parent`` — ``(n_nodes,)`` parent index (-1 at the root);
+* ``_child_offsets`` / ``_children`` — CSR child lists: the children of node
+  ``i`` are ``_children[_child_offsets[i]:_child_offsets[i + 1]]``;
+* ``_level_offsets`` — ``(n_levels + 1,)`` index ranges of each level (nodes
+  are laid out breadth-first, so every level is one contiguous index run).
+
+Construction is vectorised level-at-a-time: one batched ``np.linspace`` per
+(axis, piece-count) group replaces the historical per-node interval split —
+bitwise-identical boundaries (``np.linspace`` applies the same elementwise
+float64 operations to array endpoints as to scalars), at array speed.  The
+historical per-node builder is retained as :func:`build_reference_nodes`; it
+is the executable specification the property suite pins the arrays against.
+
+Compatibility: ``tree.nodes``, ``tree.levels()`` and ``tree.leaves()`` still
+yield :class:`TreeNode` values — lightweight proxies materialised on demand
+from the arrays — so existing consumers and tests run unchanged.  Hot paths
+(inference plans, GLS expansion, level tables, usage counts) read the arrays
+directly and never materialise a node.
 """
 
 from __future__ import annotations
@@ -14,6 +40,11 @@ import numpy as np
 
 from ..workload.linops import QueryMatrix
 from ..workload.prefix_sum import PrefixSum
+
+#: Hard ceiling on the number of domain cells: node sizes are products of
+#: int64 side lengths, so the cell count must stay clear of 2**63 for the
+#: ``size``/bounds bookkeeping to be overflow-free at 16M+ cells and beyond.
+_MAX_CELLS = 2 ** 62
 
 
 def _grid_count(prefix: np.ndarray, i0, j0, i1, j1):
@@ -37,8 +68,25 @@ def _descendant_run(pstarts, pends, pi, pj, starts, ends):
     b = np.searchsorted(ends, pends[last], side="right")
     return a, b
 
+
+def _workload_bounds(workload) -> tuple[np.ndarray, np.ndarray]:
+    """Per-query ``(los, his)`` bound arrays of a workload, shape ``(q, ndim)``.
+
+    :class:`~repro.workload.rangequery.Workload` already carries the bounds as
+    arrays — read them directly instead of looping over a million query
+    objects.  Plain query sequences (tests, ad-hoc lists) fall back to the
+    historical comprehension; either way the values are identical, so every
+    rank-query consumer stays bitwise-unchanged.
+    """
+    los = getattr(workload, "_los", None)
+    his = getattr(workload, "_his", None)
+    if los is None or his is None:
+        los = np.array([q.lo for q in workload], dtype=np.intp)
+        his = np.array([q.hi for q in workload], dtype=np.intp)
+    return np.atleast_2d(los), np.atleast_2d(his)
+
 __all__ = ["TreeNode", "HierarchicalTree", "IrregularTreeLevels", "build_tree",
-           "optimal_branching"]
+           "build_reference_nodes", "optimal_branching"]
 
 
 class IrregularTreeLevels(ValueError):
@@ -82,6 +130,65 @@ class TreeNode:
         return tuple(slice(a, b + 1) for a, b in zip(self.lo, self.hi))
 
 
+class _NodeView:
+    """Sequence view over a tree's node arrays, yielding :class:`TreeNode`
+    proxies on demand.  Supports ``len``, indexing (including negative
+    indices and slices) and iteration — the container protocol the historical
+    ``list[TreeNode]`` attribute offered — without holding any per-node
+    object alive."""
+
+    __slots__ = ("_tree",)
+
+    def __init__(self, tree: "HierarchicalTree"):
+        self._tree = tree
+
+    def __len__(self) -> int:
+        return self._tree.n_nodes
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._tree._node(i)
+                    for i in range(*index.indices(self._tree.n_nodes))]
+        index = int(index)
+        n = self._tree.n_nodes
+        if index < 0:
+            index += n
+        if not 0 <= index < n:
+            raise IndexError("tree node index out of range")
+        return self._tree._node(index)
+
+    def __iter__(self):
+        for i in range(self._tree.n_nodes):
+            yield self._tree._node(i)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self._tree.n_nodes} tree nodes>"
+
+
+def _validated_params(domain_shape, branching, split_axes):
+    """Shared parameter validation of the array builder and the reference."""
+    if branching < 2:
+        raise ValueError("branching factor must be at least 2")
+    domain_shape = tuple(int(d) for d in domain_shape)
+    if len(domain_shape) not in (1, 2):
+        raise ValueError("only 1-D and 2-D domains are supported")
+    cells = 1
+    for d in domain_shape:
+        cells *= max(int(d), 1)
+    if cells >= _MAX_CELLS:
+        raise ValueError(
+            f"domain of {cells} cells overflows the int64 size/bounds "
+            f"bookkeeping (limit {_MAX_CELLS})")
+    if split_axes is not None:
+        split_axes = tuple(int(a) for a in split_axes)
+        if not split_axes or any(a not in range(len(domain_shape))
+                                 for a in split_axes):
+            raise ValueError(
+                f"split_axes must name axes of a {len(domain_shape)}-D "
+                f"domain, got {split_axes}")
+    return domain_shape, int(branching), split_axes
+
+
 class HierarchicalTree:
     """A b-ary hierarchy over a 1-D or 2-D domain.
 
@@ -92,123 +199,283 @@ class HierarchicalTree:
     instead splits one axis per level (a kd-style hierarchy whose levels are
     marginal grids).  A scheduled axis that can no longer split falls back to
     every splittable axis, so the tree always bottoms out at single cells.
+
+    The hierarchy is stored as flat int64 arrays (see the module docstring);
+    ``nodes`` is a proxy view materialising :class:`TreeNode` values lazily.
     """
 
     def __init__(self, domain_shape: tuple[int, ...], branching: int = 2,
                  max_height: int | None = None,
                  split_axes: tuple[int, ...] | None = None):
-        if branching < 2:
-            raise ValueError("branching factor must be at least 2")
-        self.domain_shape = tuple(int(d) for d in domain_shape)
-        if len(self.domain_shape) not in (1, 2):
-            raise ValueError("only 1-D and 2-D domains are supported")
-        self.branching = int(branching)
+        self.domain_shape, self.branching, self.split_axes = \
+            _validated_params(domain_shape, branching, split_axes)
         self.max_height = max_height
-        if split_axes is not None:
-            split_axes = tuple(int(a) for a in split_axes)
-            if not split_axes or any(a not in range(len(self.domain_shape))
-                                     for a in split_axes):
-                raise ValueError(
-                    f"split_axes must name axes of a {len(self.domain_shape)}-D "
-                    f"domain, got {split_axes}")
-        self.split_axes = split_axes
-        self.nodes: list[TreeNode] = []
         self._build()
         self._bounds: tuple[np.ndarray, np.ndarray] | None = None
         self._levels_1d: list[dict] | None = None
         self._leaves_1d: dict | None = None
         self._levels_2d: list[dict] | None = None
+        self._leaf_indices: np.ndarray | None = None
+        self._sizes: np.ndarray | None = None
 
     # -- construction -------------------------------------------------------------
+    @staticmethod
+    def _uniform_segments(lo_d: np.ndarray, hi_d: np.ndarray,
+                          pieces: int) -> tuple[np.ndarray, np.ndarray]:
+        """Split every interval ``[lo_d[i], hi_d[i]]`` into ``pieces`` parts.
+
+        Returns ``(seg_lo, seg_hi)`` of shape ``(rows, pieces)``.  The batched
+        ``np.linspace`` applies the same elementwise float64 operations as the
+        historical per-node ``np.linspace(a, b + 1, pieces + 1).astype(int)``,
+        so boundaries are bitwise-identical to the reference builder.
+        """
+        if pieces == 1:
+            return lo_d[:, None], hi_d[:, None]
+        bounds = np.linspace(lo_d.astype(np.float64),
+                             (hi_d + 1).astype(np.float64),
+                             pieces + 1, axis=1).astype(np.int64)
+        return bounds[:, :-1], bounds[:, 1:] - 1
+
     def _build(self) -> None:
-        root = TreeNode(
-            lo=tuple(0 for _ in self.domain_shape),
-            hi=tuple(d - 1 for d in self.domain_shape),
-            level=0,
+        """Vectorised breadth-first construction, one batch per level.
+
+        Per level, splitting nodes are grouped by (axis, piece count) and
+        each group's interval boundaries come from a single batched
+        ``np.linspace`` call — the same elementwise float64 operations the
+        historical per-node ``np.linspace(a, b + 1, pieces + 1).astype(int)``
+        performed, so every bound is bitwise-identical to
+        :func:`build_reference_nodes`.  Children are emitted in parent-index
+        order (2-D: axis-0-major block order within a parent), matching the
+        reference's breadth-first append order exactly.
+        """
+        ndim = len(self.domain_shape)
+        lo = np.zeros((1, ndim), dtype=np.int64)
+        hi = np.array([self.domain_shape], dtype=np.int64) - 1
+        level_los, level_his = [lo], [hi]
+        level_parents = [np.full(1, -1, dtype=np.int64)]
+        child_counts: list[np.ndarray] = []
+        level_start = 0
+        level = 0
+        while True:
+            m = lo.shape[0]
+            lengths = hi - lo + 1                          # (m, ndim)
+            expand = lengths.prod(axis=1) > 1
+            if self.max_height is not None and level >= self.max_height:
+                expand &= False
+            # Axes each node refines (the reference's _axes_to_split/_split):
+            # every splittable axis, unless a kd schedule names one that is
+            # still splittable — then only that axis.
+            split = lengths > 1
+            if self.split_axes is not None:
+                axis = self.split_axes[level % len(self.split_axes)]
+                only_axis = np.zeros_like(split)
+                only_axis[:, axis] = True
+                split = np.where(split[:, axis, None], only_axis, split)
+            split &= expand[:, None]
+            has_children = split.any(axis=1)
+            counts = np.zeros(m, dtype=np.int64)
+            if not has_children.any():
+                child_counts.append(counts)
+                break
+
+            exp_idx = np.flatnonzero(has_children)
+            e_lo, e_hi = lo[exp_idx], hi[exp_idx]
+            e_len = lengths[exp_idx]
+            seg_counts = np.where(split[exp_idx],
+                                  np.minimum(self.branching, e_len),
+                                  1).astype(np.int64)      # (E, ndim)
+
+            uniform = all(
+                int(seg_counts[:, d].min()) == int(seg_counts[:, d].max())
+                for d in range(ndim))
+            if uniform:
+                # Fast path for the common regular level — every expanding
+                # node shares one (pieces per axis) pattern, so segments are
+                # dense (E, P_d) matrices and children fall out of plain
+                # reshapes/broadcasts: no ragged offsets, no scatter/gather.
+                ps = [int(seg_counts[0, d]) for d in range(ndim)]
+                segs = [self._uniform_segments(e_lo[:, d], e_hi[:, d], ps[d])
+                        for d in range(ndim)]
+                if ndim == 1:
+                    child_lo = segs[0][0].reshape(-1, 1)
+                    child_hi = segs[0][1].reshape(-1, 1)
+                else:
+                    p0, p1 = ps
+                    shape3 = (exp_idx.size, p0, p1)
+                    child_lo = np.stack([
+                        np.repeat(segs[0][0], p1, axis=1).reshape(-1),
+                        np.broadcast_to(segs[1][0][:, None, :],
+                                        shape3).reshape(-1)], axis=1)
+                    child_hi = np.stack([
+                        np.repeat(segs[0][1], p1, axis=1).reshape(-1),
+                        np.broadcast_to(segs[1][1][:, None, :],
+                                        shape3).reshape(-1)], axis=1)
+                k = np.full(exp_idx.size, int(np.prod(ps)), dtype=np.int64)
+                parents = level_start + np.repeat(exp_idx, k[0])
+            else:
+                # Ragged path (mixed piece counts within a level): per axis,
+                # per-node segment lists concatenated in node order; unsplit
+                # axes contribute the node's own interval.
+                seg_lo, seg_hi, seg_off = [], [], []
+                for d in range(ndim):
+                    cnt = seg_counts[:, d]
+                    off = np.zeros(cnt.size + 1, dtype=np.int64)
+                    np.cumsum(cnt, out=off[1:])
+                    s_lo = np.empty(int(off[-1]), dtype=np.int64)
+                    s_hi = np.empty(int(off[-1]), dtype=np.int64)
+                    plain = cnt == 1
+                    s_lo[off[:-1][plain]] = e_lo[plain, d]
+                    s_hi[off[:-1][plain]] = e_hi[plain, d]
+                    split_rows = np.flatnonzero(~plain)
+                    for p in np.unique(cnt[split_rows]):
+                        p = int(p)
+                        rows = split_rows[cnt[split_rows] == p]
+                        blo, bhi = self._uniform_segments(
+                            e_lo[rows, d], e_hi[rows, d], p)
+                        pos = off[rows][:, None] + np.arange(p, dtype=np.int64)
+                        s_lo[pos] = blo
+                        s_hi[pos] = bhi
+                    seg_lo.append(s_lo)
+                    seg_hi.append(s_hi)
+                    seg_off.append(off)
+
+                if ndim == 1:
+                    k = seg_counts[:, 0]
+                    child_lo = seg_lo[0][:, None]
+                    child_hi = seg_hi[0][:, None]
+                    rep = np.repeat(np.arange(exp_idx.size), k)
+                else:
+                    s1 = seg_counts[:, 1]
+                    k = seg_counts[:, 0] * s1
+                    total = int(k.sum())
+                    rep = np.repeat(np.arange(exp_idx.size), k)
+                    within = np.arange(total, dtype=np.int64) \
+                        - np.repeat(np.cumsum(k) - k, k)
+                    i0, i1 = np.divmod(within, s1[rep])
+                    child_lo = np.stack([seg_lo[0][seg_off[0][rep] + i0],
+                                         seg_lo[1][seg_off[1][rep] + i1]], axis=1)
+                    child_hi = np.stack([seg_hi[0][seg_off[0][rep] + i0],
+                                         seg_hi[1][seg_off[1][rep] + i1]], axis=1)
+                parents = level_start + exp_idx[rep]
+
+            counts[exp_idx] = k
+            child_counts.append(counts)
+            level_los.append(child_lo)
+            level_his.append(child_hi)
+            level_parents.append(parents)
+            level_start += m
+            lo, hi = child_lo, child_hi
+            level += 1
+
+        self._lo = np.concatenate(level_los, axis=0)
+        self._hi = np.concatenate(level_his, axis=0)
+        self._parent = np.concatenate(level_parents)
+        n_nodes = self._lo.shape[0]
+        level_sizes = np.array([a.shape[0] for a in level_los], dtype=np.int64)
+        self._level_offsets = np.zeros(level_sizes.size + 1, dtype=np.int64)
+        np.cumsum(level_sizes, out=self._level_offsets[1:])
+        self._level = np.repeat(np.arange(level_sizes.size, dtype=np.int64),
+                                level_sizes)
+        self._child_offsets = np.zeros(n_nodes + 1, dtype=np.int64)
+        np.cumsum(np.concatenate(child_counts), out=self._child_offsets[1:])
+        # Children are emitted in parent-index order, so the concatenated
+        # child lists enumerate every non-root node in index order — the CSR
+        # child array is always arange(1, n_nodes) and is materialised lazily
+        # (268 MB at 33M nodes that most consumers never need: they read the
+        # offsets and derive child runs arithmetically).
+        self._children: np.ndarray | None = None
+
+    # -- flyweight accessors -------------------------------------------------------
+    @property
+    def n_nodes(self) -> int:
+        """Total number of tree nodes."""
+        return self._lo.shape[0]
+
+    @property
+    def nodes(self) -> _NodeView:
+        """Sequence of :class:`TreeNode` proxies (materialised on demand)."""
+        return _NodeView(self)
+
+    def node_levels(self) -> np.ndarray:
+        """Per-node depth, ``(n_nodes,)`` — the flat ``_level`` array."""
+        return self._level
+
+    def node_parents(self) -> np.ndarray:
+        """Per-node parent index (-1 at the root), ``(n_nodes,)``."""
+        return self._parent
+
+    def child_offsets(self) -> np.ndarray:
+        """``(n_nodes + 1,)`` CSR offsets: node ``i`` has
+        ``offsets[i + 1] - offsets[i]`` children, and under the breadth-first
+        layout they are the contiguous node-index run
+        ``offsets[i] + 1 .. offsets[i + 1]``.  Prefer this over
+        :meth:`children_spans` when the child indices themselves are not
+        needed — it avoids materialising the O(nodes) child array."""
+        return self._child_offsets
+
+    def children_spans(self) -> tuple[np.ndarray, np.ndarray]:
+        """CSR child lists ``(offsets, children)``: the children of node
+        ``i`` are ``children[offsets[i]:offsets[i + 1]]`` (always a
+        contiguous index run under breadth-first layout; the child array is
+        materialised lazily on first request)."""
+        if self._children is None:
+            self._children = np.arange(1, self.n_nodes, dtype=np.int64)
+        return self._child_offsets, self._children
+
+    def level_spans(self) -> np.ndarray:
+        """``(n_levels + 1,)`` node-index offsets of each level."""
+        return self._level_offsets
+
+    def leaf_indices(self) -> np.ndarray:
+        """Indices of the leaves in node-index order (cached)."""
+        if self._leaf_indices is None:
+            self._leaf_indices = np.flatnonzero(
+                np.diff(self._child_offsets) == 0)
+        return self._leaf_indices
+
+    def node_sizes(self) -> np.ndarray:
+        """Per-node cell counts, ``(n_nodes,)`` int64 (cached)."""
+        if self._sizes is None:
+            self._sizes = (self._hi - self._lo + 1).prod(axis=1)
+        return self._sizes
+
+    def _node(self, index: int) -> TreeNode:
+        """Materialise one :class:`TreeNode` proxy from the arrays."""
+        index = int(index)
+        parent = int(self._parent[index])
+        a = int(self._child_offsets[index])
+        b = int(self._child_offsets[index + 1])
+        return TreeNode(
+            lo=tuple(int(v) for v in self._lo[index]),
+            hi=tuple(int(v) for v in self._hi[index]),
+            level=int(self._level[index]),
+            index=index,
+            parent=None if parent < 0 else parent,
+            children=list(range(a + 1, b + 1)),
         )
-        root.index = 0
-        self.nodes.append(root)
-        frontier = [0]
-        while frontier:
-            next_frontier = []
-            for node_idx in frontier:
-                node = self.nodes[node_idx]
-                if node.size <= 1:
-                    continue
-                if self.max_height is not None and node.level >= self.max_height:
-                    continue
-                for lo, hi in self._split(node):
-                    child = TreeNode(lo=lo, hi=hi, level=node.level + 1,
-                                     parent=node_idx)
-                    child.index = len(self.nodes)
-                    node.children.append(child.index)
-                    self.nodes.append(child)
-                    next_frontier.append(child.index)
-            frontier = next_frontier
-
-    def _axes_to_split(self, node: TreeNode) -> tuple[int, ...]:
-        """Axes the node refines: the scheduled axis for kd-style trees
-        (falling back to every axis when it is exhausted), all axes otherwise."""
-        if self.split_axes is None:
-            return tuple(range(len(self.domain_shape)))
-        axis = self.split_axes[node.level % len(self.split_axes)]
-        if node.hi[axis] > node.lo[axis]:
-            return (axis,)
-        return tuple(range(len(self.domain_shape)))
-
-    def _split(self, node: TreeNode) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
-        axes = self._axes_to_split(node)
-        per_dim: list[list[tuple[int, int]]] = []
-        for dim, (a, b) in enumerate(zip(node.lo, node.hi)):
-            length = b - a + 1
-            if length == 1 or dim not in axes:
-                per_dim.append([(a, b)])
-                continue
-            pieces = min(self.branching, length)
-            boundaries = np.linspace(a, b + 1, pieces + 1).astype(int)
-            segments = []
-            for i in range(pieces):
-                lo_i, hi_i = int(boundaries[i]), int(boundaries[i + 1]) - 1
-                if hi_i >= lo_i:
-                    segments.append((lo_i, hi_i))
-            per_dim.append(segments)
-        blocks = []
-        if len(per_dim) == 1:
-            for seg in per_dim[0]:
-                blocks.append(((seg[0],), (seg[1],)))
-        else:
-            for seg0 in per_dim[0]:
-                for seg1 in per_dim[1]:
-                    blocks.append(((seg0[0], seg1[0]), (seg0[1], seg1[1])))
-        # Avoid degenerate "split" into a single identical block.
-        if len(blocks) == 1 and blocks[0] == (node.lo, node.hi):
-            return []
-        return blocks
 
     # -- accessors ----------------------------------------------------------------
     @property
     def height(self) -> int:
-        return max(node.level for node in self.nodes)
+        return int(self._level[-1])
 
     @property
     def n_levels(self) -> int:
         return self.height + 1
 
     def levels(self) -> list[list[TreeNode]]:
-        out: list[list[TreeNode]] = [[] for _ in range(self.n_levels)]
-        for node in self.nodes:
-            out[node.level].append(node)
-        return out
+        off = self._level_offsets
+        return [[self._node(i) for i in range(int(off[lvl]), int(off[lvl + 1]))]
+                for lvl in range(self.n_levels)]
 
     def leaves(self) -> list[TreeNode]:
-        return [node for node in self.nodes if node.is_leaf]
+        return [self._node(i) for i in self.leaf_indices()]
 
     def node_bounds(self) -> tuple[np.ndarray, np.ndarray]:
         """Per-node inclusive bounds as ``(q, ndim)`` arrays (cached)."""
         if self._bounds is None:
-            los = np.array([node.lo for node in self.nodes], dtype=np.intp)
-            his = np.array([node.hi for node in self.nodes], dtype=np.intp)
-            self._bounds = (los, his)
+            self._bounds = (self._lo.astype(np.intp, copy=False),
+                            self._hi.astype(np.intp, copy=False))
         return self._bounds
 
     def as_query_matrix(self) -> QueryMatrix:
@@ -235,20 +502,25 @@ class HierarchicalTree:
         children (or, at a leaf covering several cells, the leaf is accepted
         as a partial overlap — this is where aggregated-leaf bias appears).
         """
+        qlo = tuple(int(v) for v in lo)
+        qhi = tuple(int(v) for v in hi)
+        ndim = len(qlo)
+        lo_a, hi_a, offsets = self._lo, self._hi, self._child_offsets
         selected: list[int] = []
         stack = [0]
         while stack:
             idx = stack.pop()
-            node = self.nodes[idx]
-            if any(nhi < qlo or nlo > qhi
-                   for nlo, nhi, qlo, qhi in zip(node.lo, node.hi, lo, hi)):
+            nlo, nhi = lo_a[idx], hi_a[idx]
+            if any(int(nhi[d]) < qlo[d] or int(nlo[d]) > qhi[d]
+                   for d in range(ndim)):
                 continue
-            inside = all(qlo <= nlo and nhi <= qhi
-                         for nlo, nhi, qlo, qhi in zip(node.lo, node.hi, lo, hi))
-            if inside or node.is_leaf:
+            inside = all(qlo[d] <= int(nlo[d]) and int(nhi[d]) <= qhi[d]
+                         for d in range(ndim))
+            a, b = int(offsets[idx]), int(offsets[idx + 1])
+            if inside or a == b:
                 selected.append(idx)
             else:
-                stack.extend(node.children)
+                stack.extend(range(a + 1, b + 1))
         return selected
 
     def level_usage(self, workload) -> np.ndarray:
@@ -271,36 +543,42 @@ class HierarchicalTree:
         usage = np.zeros(self.n_levels)
         for query in workload:
             for idx in self.decompose_range(query.lo, query.hi):
-                usage[self.nodes[idx].level] += 1
+                usage[int(self._level[idx])] += 1
         return usage
 
     def _level_tables_1d(self):
         """Sorted per-level interval tables used by the vectorised usage count."""
         if self._levels_1d is None:
+            starts_all = self._lo[:, 0].astype(np.intp, copy=False)
+            ends_all = self._hi[:, 0].astype(np.intp, copy=False)
+            offsets = self._child_offsets
             tables = []
-            for level_nodes in self.levels():
-                starts = np.array([n.lo[0] for n in level_nodes], dtype=np.intp)
-                ends = np.array([n.hi[0] for n in level_nodes], dtype=np.intp)
-                kids = np.array([len(n.children) for n in level_nodes], dtype=np.intp)
-                kids_cum = np.zeros(kids.size + 1, dtype=np.intp)
-                np.cumsum(kids, out=kids_cum[1:])
+            for lvl in range(self.n_levels):
+                s = int(self._level_offsets[lvl])
+                e = int(self._level_offsets[lvl + 1])
                 # Nodes within a level are created left-to-right, so starts
                 # (and, the intervals being disjoint, ends) are sorted.
-                tables.append({"starts": starts, "ends": ends, "kids_cum": kids_cum})
+                tables.append({
+                    "starts": starts_all[s:e],
+                    "ends": ends_all[s:e],
+                    "kids_cum": (offsets[s:e + 1] - offsets[s]).astype(np.intp),
+                })
             self._levels_1d = tables
         if self._leaves_1d is None:
-            leaf_nodes = sorted(self.leaves(), key=lambda n: n.lo[0])
+            leaf_idx = self.leaf_indices()
+            order = np.argsort(self._lo[leaf_idx, 0], kind="stable")
+            leaf_idx = leaf_idx[order]
             self._leaves_1d = {
-                "starts": np.array([n.lo[0] for n in leaf_nodes], dtype=np.intp),
-                "ends": np.array([n.hi[0] for n in leaf_nodes], dtype=np.intp),
-                "levels": np.array([n.level for n in leaf_nodes], dtype=np.intp),
+                "starts": self._lo[leaf_idx, 0].astype(np.intp, copy=False),
+                "ends": self._hi[leaf_idx, 0].astype(np.intp, copy=False),
+                "levels": self._level[leaf_idx].astype(np.intp, copy=False),
             }
         return self._levels_1d, self._leaves_1d
 
     def _level_usage_1d(self, workload) -> np.ndarray:
         tables, leaves = self._level_tables_1d()
-        los = np.array([q.lo[0] for q in workload], dtype=np.intp)
-        his = np.array([q.hi[0] for q in workload], dtype=np.intp)
+        qlos, qhis = _workload_bounds(workload)
+        los, his = qlos[:, 0], qhis[:, 0]
         usage = np.zeros(self.n_levels)
 
         # A node is used iff it lies inside the query while its parent does
@@ -383,11 +661,14 @@ class HierarchicalTree:
         return self._levels_2d
 
     def _build_level_tables_2d(self) -> list[dict]:
+        offsets = self._child_offsets
         tables = []
-        for level_nodes in self.levels():
-            lo = np.array([n.lo for n in level_nodes], dtype=np.intp)
-            hi = np.array([n.hi for n in level_nodes], dtype=np.intp)
-            is_leaf = np.array([not n.children for n in level_nodes], dtype=bool)
+        for lvl in range(self.n_levels):
+            s = int(self._level_offsets[lvl])
+            e = int(self._level_offsets[lvl + 1])
+            lo = self._lo[s:e].astype(np.intp, copy=False)
+            hi = self._hi[s:e].astype(np.intp, copy=False)
+            is_leaf = offsets[s + 1:e + 1] == offsets[s:e]
             starts0, ends0 = self._axis_intervals(lo[:, 0], hi[:, 0])
             starts1, ends1 = self._axis_intervals(lo[:, 1], hi[:, 1])
             rows = np.searchsorted(starts0, lo[:, 0])
@@ -425,8 +706,7 @@ class HierarchicalTree:
         measured.  O((q + nodes) log nodes) total, no per-query recursion.
         """
         tables = self._level_tables_2d()
-        los = np.array([q.lo for q in workload], dtype=np.intp)
-        his = np.array([q.hi for q in workload], dtype=np.intp)
+        los, his = _workload_bounds(workload)
         qlo0, qlo1 = los[:, 0], los[:, 1]
         qhi0, qhi1 = his[:, 0], his[:, 1]
         usage = np.zeros(self.n_levels)
@@ -466,6 +746,83 @@ class HierarchicalTree:
                 usage[level] += float(np.sum(intersecting - inside_leaves))
             prev = (i0, j0, i1, j1, table)
         return usage
+
+
+def build_reference_nodes(domain_shape: tuple[int, ...], branching: int = 2,
+                          max_height: int | None = None,
+                          split_axes: tuple[int, ...] | None = None,
+                          ) -> list[TreeNode]:
+    """The historical per-node breadth-first builder, node for node.
+
+    This is the executable specification of :class:`HierarchicalTree`'s
+    vectorised array construction: same node order, bounds, levels, parents
+    and child lists (the property suite pins the two against each other), at
+    per-Python-object cost.  Retained for testing and as the baseline of the
+    construction-speedup gate; production code always uses the arrays.
+    """
+    domain_shape, branching, split_axes = \
+        _validated_params(domain_shape, branching, split_axes)
+    ndim = len(domain_shape)
+
+    def axes_to_split(node: TreeNode) -> tuple[int, ...]:
+        if split_axes is None:
+            return tuple(range(ndim))
+        axis = split_axes[node.level % len(split_axes)]
+        if node.hi[axis] > node.lo[axis]:
+            return (axis,)
+        return tuple(range(ndim))
+
+    def split(node: TreeNode) -> list[tuple[tuple[int, ...], tuple[int, ...]]]:
+        axes = axes_to_split(node)
+        per_dim: list[list[tuple[int, int]]] = []
+        for dim, (a, b) in enumerate(zip(node.lo, node.hi)):
+            length = b - a + 1
+            if length == 1 or dim not in axes:
+                per_dim.append([(a, b)])
+                continue
+            pieces = min(branching, length)
+            boundaries = np.linspace(a, b + 1, pieces + 1).astype(int)
+            segments = []
+            for i in range(pieces):
+                lo_i, hi_i = int(boundaries[i]), int(boundaries[i + 1]) - 1
+                if hi_i >= lo_i:
+                    segments.append((lo_i, hi_i))
+            per_dim.append(segments)
+        blocks = []
+        if len(per_dim) == 1:
+            for seg in per_dim[0]:
+                blocks.append(((seg[0],), (seg[1],)))
+        else:
+            for seg0 in per_dim[0]:
+                for seg1 in per_dim[1]:
+                    blocks.append(((seg0[0], seg1[0]), (seg0[1], seg1[1])))
+        # Avoid degenerate "split" into a single identical block.
+        if len(blocks) == 1 and blocks[0] == (node.lo, node.hi):
+            return []
+        return blocks
+
+    root = TreeNode(lo=tuple(0 for _ in domain_shape),
+                    hi=tuple(d - 1 for d in domain_shape), level=0)
+    root.index = 0
+    nodes = [root]
+    frontier = [0]
+    while frontier:
+        next_frontier = []
+        for node_idx in frontier:
+            node = nodes[node_idx]
+            if node.size <= 1:
+                continue
+            if max_height is not None and node.level >= max_height:
+                continue
+            for lo, hi in split(node):
+                child = TreeNode(lo=lo, hi=hi, level=node.level + 1,
+                                 parent=node_idx)
+                child.index = len(nodes)
+                node.children.append(child.index)
+                nodes.append(child)
+                next_frontier.append(child.index)
+        frontier = next_frontier
+    return nodes
 
 
 def optimal_branching(n: int, max_branching: int = 16) -> int:

@@ -30,6 +30,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..algorithms.inference import tree_least_squares
+from ..workload.linops import _expand_runs
 from .measurement import MeasurementSet
 
 __all__ = ["solve_gls"]
@@ -37,31 +38,45 @@ __all__ = ["solve_gls"]
 
 def _solve_tree(measurements: MeasurementSet) -> np.ndarray:
     """Exact two-pass GLS on a tree-tagged measurement set, expanded to cells
-    (uniform within aggregated leaves)."""
+    (uniform within aggregated leaves).
+
+    Everything runs on the tree's flyweight arrays — leaf indices, sizes and
+    bounds — with no per-node object in sight; the aggregated-leaf 2-D path
+    scatters row runs instead of looping leaf slices.  Per-leaf float
+    divisions are elementwise, so every path is bitwise-identical to the
+    historical per-node loops.
+    """
     tree = measurements.tree
     consistent = tree_least_squares(tree, measurements.values, measurements.variances)
-    leaves = tree.leaves()
+    indices = tree.leaf_indices().astype(np.intp, copy=False)
+    sizes = tree.node_sizes()[indices].astype(np.intp, copy=False)
+    los, his = tree.node_bounds()
     if len(tree.domain_shape) == 1:
         # Vectorised expansion: leaves tile the 1-D domain, so one repeat of
         # the per-leaf averages (in domain order) fills every cell.  Matters
         # for partition-heavy trees (DAWA buckets) with thousands of leaves.
-        leaves = sorted(leaves, key=lambda node: node.lo[0])
-        indices = np.array([node.index for node in leaves], dtype=np.intp)
-        sizes = np.array([node.size for node in leaves], dtype=np.intp)
+        order = np.argsort(los[indices, 0], kind="stable")
+        indices, sizes = indices[order], sizes[order]
         return np.repeat(consistent[indices] / sizes, sizes)
-    indices = np.array([node.index for node in leaves], dtype=np.intp)
-    sizes = np.array([node.size for node in leaves], dtype=np.intp)
     estimate = np.zeros(tree.domain_shape)
     if np.all(sizes == 1):
         # Vectorised 2-D expansion for cell-leaf trees (full quadtrees, the
         # native 2-D selection strategies): one scatter instead of one slice
         # assignment per leaf.  Division by the all-ones sizes is exact, so
         # this is bitwise-identical to the historical per-leaf loop.
-        los, _ = tree.node_bounds()
         estimate[los[indices, 0], los[indices, 1]] = consistent[indices] / sizes
         return estimate
-    for node in leaves:
-        estimate[node.slices()] = consistent[node.index] / node.size
+    # Aggregated 2-D leaves (fixed-height quadtrees on large domains): expand
+    # every leaf rectangle into per-row cell runs and fill them with one flat
+    # scatter.  Leaves are disjoint, so the assignment order cannot matter.
+    values = consistent[indices] / sizes
+    heights = (his[indices, 0] - los[indices, 0] + 1).astype(np.intp)
+    widths = (his[indices, 1] - los[indices, 1] + 1).astype(np.intp)
+    leaf_of_row = np.repeat(np.arange(indices.size), heights)
+    rows = _expand_runs(los[indices, 0], heights)
+    row_starts = rows * tree.domain_shape[1] + los[indices, 1][leaf_of_row]
+    cells = _expand_runs(row_starts, widths[leaf_of_row])
+    estimate.ravel()[cells] = np.repeat(values[leaf_of_row], widths[leaf_of_row])
     return estimate
 
 

@@ -159,10 +159,10 @@ class MeasurementPlan:
                     "the noise stage")
         if self.partition is not None:
             self.partition = np.asarray(self.partition, dtype=np.intp)
-        if self.tree is not None and len(self.tree.nodes) != q:
+        if self.tree is not None and self.tree.n_nodes != q:
             raise ValueError(
                 f"tree-tagged plan needs one query per tree node: "
-                f"{len(self.tree.nodes)} nodes, {q} queries")
+                f"{self.tree.n_nodes} nodes, {q} queries")
 
     # -- derived views ------------------------------------------------------------
     @property

@@ -416,7 +416,15 @@ class KernelSourceDisciplineRule:
 
     @staticmethod
     def _njit_source_names(module: ModuleContext) -> set[str]:
-        """Names of functions wrapped by (possibly parameterised) njit."""
+        """Names of functions wrapped by (possibly parameterised) njit.
+
+        Three registration shapes count as kernel sources: the decorator
+        form (``@njit(...)``), the rebinding form
+        (``_njit(cache=True, ...)(source_fn)``), and a plain function name
+        handed straight to the dispatch registry's numba backend
+        (``register_kernel("name", "numba", source_fn)``) — the latter is
+        compiled lazily, so its source must obey the same discipline.
+        """
         sources: set[str] = set()
         for node in ast.walk(module.tree):
             if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
@@ -436,11 +444,40 @@ class KernelSourceDisciplineRule:
                     for arg in node.args:
                         if isinstance(arg, ast.Name):
                             sources.add(arg.id)
+                # the registry form: register_kernel(name, "numba", source_fn)
+                if name.split(".")[-1] == "register_kernel" \
+                        and len(node.args) >= 3 \
+                        and isinstance(node.args[1], ast.Constant) \
+                        and node.args[1].value == "numba" \
+                        and isinstance(node.args[2], ast.Name):
+                    sources.add(node.args[2].id)
         return sources
+
+    @staticmethod
+    def _module_callable_names(module: ModuleContext) -> set[str]:
+        """Module-level callables a kernel source may legitimately reference:
+        every function definition plus names bound to njit products
+        (``x = _njit(...)(y)``).  Referencing these is dispatch, not a data
+        closure — numba resolves sibling compiled functions at compile time
+        and the numba CI leg rejects calls into plain-Python ones."""
+        names: set[str] = set()
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                names.add(node.name)
+            elif isinstance(node, ast.Assign) \
+                    and isinstance(node.value, ast.Call):
+                inner = node.value.func
+                target = inner.func if isinstance(inner, ast.Call) else inner
+                name = module.dotted_name(target) or ""
+                if name.split(".")[-1].lstrip("_") == "njit":
+                    names.update(t.id for t in node.targets
+                                 if isinstance(t, ast.Name))
+        return names
 
     def _check_source(self, module: ModuleContext, func: ast.FunctionDef,
                       sources: set[str]) -> Iterator[Finding]:
         allowed = (set(self._SAFE_BUILTINS) | sources
+                   | self._module_callable_names(module)
                    | module.numpy_aliases | {"numpy"})
         local = {a.arg for a in (func.args.posonlyargs + func.args.args
                                  + func.args.kwonlyargs)}

@@ -29,24 +29,25 @@ def prefix_workload(n: int) -> Workload:
     """
     if n < 1:
         raise ValueError("domain size must be at least 1")
-    queries = [RangeQuery((0,), (i,)) for i in range(n)]
-    return Workload(queries, (n,), name=f"prefix[{n}]")
+    his = np.arange(n, dtype=np.intp)[:, None]
+    return Workload.from_bounds(np.zeros_like(his), his, (n,),
+                                name=f"prefix[{n}]")
 
 
 def identity_workload(domain_shape: tuple[int, ...]) -> Workload:
     """One point query per cell of the domain."""
     domain_shape = tuple(int(d) for d in domain_shape)
     if len(domain_shape) == 1:
-        queries = [RangeQuery((i,), (i,)) for i in range(domain_shape[0])]
+        cells = np.arange(domain_shape[0], dtype=np.intp)[:, None]
     elif len(domain_shape) == 2:
-        queries = [
-            RangeQuery((i, j), (i, j))
-            for i in range(domain_shape[0])
-            for j in range(domain_shape[1])
-        ]
+        rows, cols = np.divmod(
+            np.arange(domain_shape[0] * domain_shape[1], dtype=np.intp),
+            domain_shape[1])
+        cells = np.stack([rows, cols], axis=1)
     else:
         raise ValueError("only 1-D and 2-D domains are supported")
-    return Workload(queries, domain_shape, name=f"identity{list(domain_shape)}")
+    return Workload.from_bounds(cells, cells, domain_shape,
+                                name=f"identity{list(domain_shape)}")
 
 
 def all_range_workload(n: int, max_queries: int | None = None) -> Workload:

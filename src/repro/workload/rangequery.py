@@ -98,7 +98,7 @@ class Workload:
                 raise ValueError("all queries must match the domain dimensionality")
             if any(h >= d for h, d in zip(q.hi, domain_shape)):
                 raise ValueError(f"query {q} exceeds domain {domain_shape}")
-        self._queries = queries
+        self._queries: list[RangeQuery] | None = queries
         self._domain_shape = domain_shape
         self.name = name
         self._los = np.array([q.lo for q in queries], dtype=np.intp)
@@ -106,6 +106,66 @@ class Workload:
         # Built once under the lock, then published (see QueryMatrix's caches).
         self._lock = threading.Lock()
         self._operator: QueryMatrix | None = None
+
+    @classmethod
+    def from_bounds(
+        cls,
+        los: np.ndarray,
+        his: np.ndarray,
+        domain_shape: tuple[int, ...],
+        name: str = "workload",
+    ) -> "Workload":
+        """Build a workload directly from ``(q, ndim)`` bound arrays.
+
+        The flyweight constructor: no per-query :class:`RangeQuery` objects
+        are created (a million-query prefix workload is two arrays, not a
+        million frozen dataclasses).  Array consumers — the tree usage
+        counts, :class:`QueryMatrix`, evaluation — read the bounds directly;
+        the query-object view is materialised lazily (under the lock) only
+        if someone iterates the workload.  Validation is vectorised but
+        enforces exactly the per-query invariants of :class:`RangeQuery`.
+        """
+        domain_shape = tuple(int(d) for d in domain_shape)
+        if len(domain_shape) not in (1, 2):
+            raise ValueError("only 1-D and 2-D domains are supported")
+        los = np.asarray(los, dtype=np.intp)
+        his = np.asarray(his, dtype=np.intp)
+        if los.ndim == 1:
+            los = los[:, None]
+        if his.ndim == 1:
+            his = his[:, None]
+        if los.shape != his.shape or los.ndim != 2 \
+                or los.shape[1] != len(domain_shape):
+            raise ValueError("los/his must have shape (q, ndim) matching the domain")
+        if los.shape[0] == 0:
+            raise ValueError("a workload must contain at least one query")
+        if np.any(los < 0) or np.any(his < los):
+            raise ValueError("queries must satisfy 0 <= lo <= hi")
+        if np.any(his >= np.asarray(domain_shape, dtype=np.intp)):
+            raise ValueError(f"queries exceed domain {domain_shape}")
+        self = cls.__new__(cls)
+        self._queries = None
+        self._domain_shape = domain_shape
+        self.name = name
+        self._los = los
+        self._his = his
+        self._lock = threading.Lock()
+        self._operator = None
+        return self
+
+    def _materialised(self) -> list[RangeQuery]:
+        """The per-query object view, built once under the lock on first use
+        (bounds-array workloads defer it; see :meth:`from_bounds`)."""
+        queries = self._queries
+        if queries is None:
+            with self._lock:
+                if self._queries is None:
+                    self._queries = [
+                        RangeQuery(tuple(int(v) for v in lo),
+                                   tuple(int(v) for v in hi))
+                        for lo, hi in zip(self._los, self._his)]
+                queries = self._queries
+        return queries
 
     def __getstate__(self):
         state = self.__dict__.copy()
@@ -118,17 +178,17 @@ class Workload:
 
     # -- basic container protocol -------------------------------------------------
     def __len__(self) -> int:
-        return len(self._queries)
+        return self._los.shape[0]
 
     def __iter__(self) -> Iterator[RangeQuery]:
-        return iter(self._queries)
+        return iter(self._materialised())
 
     def __getitem__(self, i: int) -> RangeQuery:
-        return self._queries[i]
+        return self._materialised()[i]
 
     @property
     def queries(self) -> list[RangeQuery]:
-        return list(self._queries)
+        return list(self._materialised())
 
     @property
     def domain_shape(self) -> tuple[int, ...]:
@@ -197,11 +257,10 @@ class Workload:
         tuning GreedyH over the bucket domain.
         """
         bucket_queries = self.operator.on_partition(edges)
-        queries = [RangeQuery((int(lo),), (int(hi),))
-                   for lo, hi in zip(bucket_queries.los[:, 0],
-                                     bucket_queries.his[:, 0])]
-        return Workload(queries, bucket_queries.domain_shape,
-                        name=f"{self.name}|buckets[{len(edges) - 1}]")
+        return Workload.from_bounds(
+            bucket_queries.los, bucket_queries.his,
+            bucket_queries.domain_shape,
+            name=f"{self.name}|buckets[{len(edges) - 1}]")
 
     def restricted_to(self, domain_shape: tuple[int, ...]) -> "Workload":
         """Restrict the workload to a smaller (coarsened) domain.
@@ -214,7 +273,7 @@ class Workload:
         """
         domain_shape = tuple(int(d) for d in domain_shape)
         kept = []
-        for q in self._queries:
+        for q in self._materialised():
             if any(l >= d for l, d in zip(q.lo, domain_shape)):
                 continue                              # entirely outside: drop
             hi = tuple(min(h, d - 1) for h, d in zip(q.hi, domain_shape))

@@ -39,7 +39,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..algorithms.tree import HierarchicalTree, IrregularTreeLevels
+from ..algorithms.tree import HierarchicalTree, IrregularTreeLevels, \
+    _workload_bounds
 
 __all__ = ["TreeStrategy", "candidate_trees", "subset_level_usage",
            "subset_usage_reference", "predicted_workload_variance",
@@ -97,8 +98,8 @@ def subset_level_usage(tree: HierarchicalTree, workload,
     measured = np.asarray(measured, dtype=bool)
     if measured.shape != (tree.n_levels,):
         raise ValueError("need one measured flag per tree level")
-    leaf_levels = {node.level for node in tree.leaves()}
-    if not all(measured[level] for level in leaf_levels):
+    leaf_levels = np.unique(tree.node_levels()[tree.leaf_indices()])
+    if not measured[leaf_levels].all():
         raise ValueError("every leaf level must be measured")
     if len(tree.domain_shape) == 2:
         try:
@@ -107,8 +108,8 @@ def subset_level_usage(tree: HierarchicalTree, workload,
             return subset_usage_reference(tree, workload, measured)
 
     tables, leaves = tree._level_tables_1d()
-    los = np.array([q.lo[0] for q in workload], dtype=np.intp)
-    his = np.array([q.hi[0] for q in workload], dtype=np.intp)
+    qlos, qhis = _workload_bounds(workload)
+    los, his = qlos[:, 0], qhis[:, 0]
     usage = np.zeros(tree.n_levels)
 
     prev_run = None
@@ -185,7 +186,7 @@ def _greedy_prune(tree: HierarchicalTree, workload) -> TreeStrategy:
     the level whose removal most reduces the predicted variance (re-deriving
     the usage counts of the remaining levels, since dropped nodes re-route
     queries to their descendants), until no single drop helps."""
-    leaf_levels = {node.level for node in tree.leaves()}
+    leaf_levels = set(tree.node_levels()[tree.leaf_indices()].tolist())
     measured = np.ones(tree.n_levels, dtype=bool)
     usage = subset_level_usage(tree, workload, measured)
     score = predicted_workload_variance(usage)

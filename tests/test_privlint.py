@@ -397,6 +397,51 @@ class TestKernelSourceDiscipline:
                 return {"result": x.tolist()}
         """, path="src/repro/core/kernels.py") == []
 
+    def test_registry_numba_source_flagged(self):
+        # A raw def handed to the registry's numba backend is compiled
+        # lazily, so its body must obey the same compilable-subset rules.
+        findings = run_rule("PL006", """
+            import numpy as np
+
+            def _tree_build_core(lo, hi, n):
+                return [lo[i] for i in range(n)]
+
+            register_kernel("tree_build_core", "numba", _tree_build_core)
+        """, path="src/repro/core/kernels.py")
+        assert [f.rule for f in findings] == ["PL006"]
+        assert "list comprehension" in findings[0].message
+
+    def test_registry_numpy_source_not_a_kernel(self):
+        # The numpy backend is vectorised python — no subset discipline.
+        assert run_rule("PL006", """
+            import numpy as np
+
+            def _tree_build_numpy(lo, hi, n):
+                return [int(v) for v in lo]
+
+            register_kernel("tree_build_core", "numpy", _tree_build_numpy)
+        """, path="src/repro/core/kernels.py") == []
+
+    def test_registry_driver_forwarding_to_njit_products_clean(self):
+        # The dispatch-driver idiom: a plain def registered under numba that
+        # forwards to njit products is dispatch, not a data closure.
+        assert run_rule("PL006", """
+            import numpy as np
+
+            def _pass_scalar(x):
+                return x * 2.0
+
+            _pass_numba = _njit(cache=True, nogil=True)(_pass_scalar)
+
+            def _driver(groups, values):
+                return _run_groups(groups, values, kernel=_pass_numba)
+
+            def _run_groups(groups, values, kernel):
+                return values
+
+            register_kernel("two_pass", "numba", _driver)
+        """, path="src/repro/core/kernels.py") == []
+
 
 # -- suppressions --------------------------------------------------------------------
 
