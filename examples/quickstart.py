@@ -360,6 +360,38 @@ class LeakyUniform(PlanAlgorithm):
           f"({side * side:,} cells): {time.perf_counter() - t0:.1f}s, "
           f"total {grid_release.sum():,.0f} (true {grid.sum():,.0f})")
 
+    # 14. Interprocedural leak hunting (privlint v2).  Section 12's PL002
+    #     reads one function at a time, so routing the stash through a
+    #     helper blinds it — infer() below never mentions the data.  The
+    #     dataflow analysis (repro.privlint.dataflow) links the whole
+    #     project into a call graph, runs worklist fixpoints for data
+    #     taint / budget flow / RNG provenance, and PL007 reports the leak
+    #     with the full call path.  CI runs these rules over src/,
+    #     benchmarks/ and tests/ (`python -m repro.privlint src`).
+    hidden_leak = '''
+class StealthyUniform(PlanAlgorithm):
+    def select(self, x, workload, budget, rng):
+        self._stash = x.copy()                    # non-data-named stash
+        return uniform_plan(x.shape, budget)
+
+    def _blend(self, estimate):
+        return 0.5 * estimate + 0.5 * self._stash
+
+    def infer(self, measurements, plan):
+        estimate = reconstruct(plan, measurements)
+        return self._blend(estimate)              # PL002 sees nothing here
+'''
+    from repro.privlint.dataflow import PROJECT_RULES_BY_ID, analyze_sources
+
+    silent = lint_source(hidden_leak, "examples/stealthy.py",
+                         [RULES_BY_ID["PL002"]])
+    print(f"\nPL002 findings on the helper-routed leak: "
+          f"{len(silent.findings)} (blind past the call)")
+    analysis = analyze_sources({"examples/stealthy.py": hidden_leak})
+    for finding in PROJECT_RULES_BY_ID["PL007"].check_project(analysis):
+        print(f"privlint v2: {finding.location()}: {finding.rule} "
+              f"{finding.message}")
+
 
 def _noisy_tree_measurements(x, tree, epsilon):
     """Hand-rolled node measurements for the quickstart's section 6."""

@@ -193,7 +193,7 @@ class MWEM(PlanAlgorithm):
             # spend_all() in select(); the float() around the true answer is
             # the taint sanitizer's declassification point — the very next
             # operation noised it.
-            measured = float(true_answers[chosen]) + float(  # privlint: disable=PL003
+            measured = float(true_answers[chosen]) + float(
                 laplace_noise(2.0 / eps_round, (), rng)
             )
             return chosen, measured

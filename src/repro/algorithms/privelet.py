@@ -75,7 +75,7 @@ class Privelet(Algorithm):
         # Bespoke wavelet-domain mechanism (documented plan-pipeline
         # exemption): the whole run budget perturbs the Haar coefficients at
         # the matching haar_sensitivity, with no split to meter.
-        noisy = [c + laplace_noise(sensitivity / epsilon, c.shape, rng)  # privlint: disable=PL003,PL004
+        noisy = [c + laplace_noise(sensitivity / epsilon, c.shape, rng)  # privlint: disable=PL003,PL004,PL008
                  for c in coefficients]
         return haar_inverse(noisy, original_size=n)
 
@@ -91,6 +91,6 @@ class Privelet(Algorithm):
         sensitivity = haar_sensitivity(rows) * haar_sensitivity(cols)
         coefficients = h_row @ padded @ h_col.T
         # Same exemption as the 1-D path: whole budget, 2-D Haar sensitivity.
-        noisy = coefficients + laplace_noise(sensitivity / epsilon, coefficients.shape, rng)  # privlint: disable=PL003,PL004
+        noisy = coefficients + laplace_noise(sensitivity / epsilon, coefficients.shape, rng)  # privlint: disable=PL003,PL004,PL008
         reconstructed = np.linalg.solve(h_row, np.linalg.solve(h_col, noisy.T).T)
         return reconstructed[:rows, :cols]

@@ -3,9 +3,11 @@
 Exit codes follow lint convention so CI can gate directly on the process
 status:
 
-* ``0`` — no findings (after baseline filtering),
+* ``0`` — no findings (after baseline filtering) and no stale baseline,
 * ``1`` — at least one new finding,
-* ``2`` — usage error, unreadable baseline, or an unparseable source file.
+* ``2`` — usage error, unreadable baseline, unparseable source file, or
+  stale baseline entries (the baseline must shrink in the same change that
+  fixes its findings, so it can never mask a regression).
 """
 
 from __future__ import annotations
@@ -18,23 +20,31 @@ from pathlib import Path
 from typing import Sequence
 
 from .baseline import apply_baseline, load_baseline, write_baseline
-from .engine import lint_paths
+from .dataflow import DATAFLOW_RULES, PROJECT_RULES_BY_ID
+from .engine import UNUSED_SUPPRESSION_RULE, lint_paths
 from .findings import Finding
 from .rules import DEFAULT_RULES, RULES_BY_ID
+from .sarif import render_sarif
 
 __all__ = ["main"]
 
 OUTPUT_VERSION = 1
+
+#: Every selectable rule id, module-level and project-level.
+ALL_RULES_BY_ID = {**RULES_BY_ID, **PROJECT_RULES_BY_ID,
+                   UNUSED_SUPPRESSION_RULE.id: UNUSED_SUPPRESSION_RULE}
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro.privlint",
         description="Privacy-invariant static analysis for the DPBench "
-                    "reproduction (rules PL001-PL006).")
+                    "reproduction (module rules PL001-PL006, "
+                    "interprocedural dataflow rules PL007-PL010).")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
                         help="output format (default: text)")
     parser.add_argument("--baseline", metavar="FILE", default=None,
                         help="baseline JSON of grandfathered findings; only "
@@ -44,21 +54,36 @@ def _build_parser() -> argparse.ArgumentParser:
                              "and exit 0")
     parser.add_argument("--rules", metavar="IDS", default=None,
                         help="comma-separated rule ids to run "
-                             "(default: all of %s)" % ",".join(RULES_BY_ID))
+                             "(default: all of %s)" % ",".join(
+                                 k for k in ALL_RULES_BY_ID
+                                 if k != UNUSED_SUPPRESSION_RULE.id))
+    parser.add_argument("--summary-cache", metavar="FILE", default=None,
+                        help="JSON store of per-file dataflow facts keyed by "
+                             "content hash; speeds up repeated runs")
+    parser.add_argument("--no-unused-disable", action="store_true",
+                        help="do not report `# privlint: disable=` comments "
+                             "that suppress nothing (PL100)")
     return parser
 
 
 def _select_rules(spec: str | None, parser: argparse.ArgumentParser):
+    """Split a ``--rules`` spec into (module rules, project rules)."""
     if spec is None:
-        return DEFAULT_RULES
-    rules = []
+        return DEFAULT_RULES, DATAFLOW_RULES
+    module_rules = []
+    project_rules = []
     for rule_id in spec.split(","):
         rule_id = rule_id.strip()
-        if rule_id not in RULES_BY_ID:
+        if rule_id in RULES_BY_ID:
+            module_rules.append(RULES_BY_ID[rule_id])
+        elif rule_id in PROJECT_RULES_BY_ID:
+            project_rules.append(PROJECT_RULES_BY_ID[rule_id])
+        elif rule_id == UNUSED_SUPPRESSION_RULE.id:
+            pass  # PL100 is engine-synthesised, controlled by the flag
+        else:
             parser.error(f"unknown rule {rule_id!r}; "
-                         f"known: {', '.join(RULES_BY_ID)}")
-        rules.append(RULES_BY_ID[rule_id])
-    return tuple(rules)
+                         f"known: {', '.join(ALL_RULES_BY_ID)}")
+    return tuple(module_rules), tuple(project_rules)
 
 
 def _render_text(new: list[Finding], grandfathered: list[Finding],
@@ -105,14 +130,16 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
     parser = _build_parser()
     args = parser.parse_args(argv)
     out = out if out is not None else sys.stdout
-    rules = _select_rules(args.rules, parser)
+    rules, project_rules = _select_rules(args.rules, parser)
 
     missing = [p for p in args.paths if not Path(p).exists()]
     if missing:
         print(f"error: no such path: {', '.join(missing)}", file=sys.stderr)
         return 2
 
-    result = lint_paths(args.paths, rules)
+    result = lint_paths(args.paths, rules, project_rules=project_rules,
+                        report_unused=not args.no_unused_disable,
+                        cache_path=args.summary_cache)
     for error in result.errors:
         print(f"error: {error}", file=sys.stderr)
     if result.errors:
@@ -136,6 +163,13 @@ def main(argv: Sequence[str] | None = None, out=None) -> int:
 
     if args.format == "json":
         _render_json(new, grandfathered, result.suppressed, stale, out)
+    elif args.format == "sarif":
+        render_sarif(new, grandfathered, result.suppressed,
+                     ALL_RULES_BY_ID, out)
     else:
         _render_text(new, grandfathered, result.suppressed, stale, out)
-    return 1 if new else 0
+    if new:
+        return 1
+    if stale:
+        return 2
+    return 0

@@ -1,0 +1,75 @@
+"""Summary cache: per-module facts keyed by file content hash.
+
+Fact extraction is the per-file half of the dataflow analysis and the only
+half whose cost scales with file *size* rather than project shape, so it is
+the half worth caching.  The store is one JSON document::
+
+    {"version": 1, "entries": {"src/repro/core/plan.py":
+        {"sha256": "…", "facts": {…}}}}
+
+A cache hit requires both the content hash and the facts schema version to
+match; anything else re-extracts.  Corrupt or unreadable caches are treated
+as empty — the cache is an accelerator, never a correctness dependency.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+from .facts import FACTS_VERSION, ModuleFacts
+
+__all__ = ["FactsCache"]
+
+CACHE_VERSION = 1
+
+
+def _digest(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class FactsCache:
+    """Load-mutate-save wrapper around the on-disk summary store."""
+
+    def __init__(self, path: str | Path | None):
+        self.path = Path(path) if path else None
+        self.entries: dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+        if self.path is not None and self.path.exists():
+            try:
+                document = json.loads(self.path.read_text(encoding="utf-8"))
+                if document.get("version") == CACHE_VERSION:
+                    self.entries = dict(document.get("entries", {}))
+            except (OSError, ValueError):
+                self.entries = {}
+
+    def get(self, path: str, source: str) -> ModuleFacts | None:
+        entry = self.entries.get(path)
+        if entry is None or entry.get("sha256") != _digest(source):
+            self.misses += 1
+            return None
+        try:
+            facts = ModuleFacts.from_dict(entry["facts"])
+        except (KeyError, ValueError, TypeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return facts
+
+    def put(self, path: str, source: str, facts: ModuleFacts) -> None:
+        self.entries[path] = {"sha256": _digest(source),
+                              "facts": facts.as_dict()}
+        self._dirty = True
+
+    def save(self) -> None:
+        if self.path is None or not self._dirty:
+            return
+        document = {"version": CACHE_VERSION,
+                    "facts_version": FACTS_VERSION,
+                    "entries": self.entries}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self.path.write_text(json.dumps(document), encoding="utf-8")
+        self._dirty = False

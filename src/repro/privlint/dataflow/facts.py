@@ -1,0 +1,658 @@
+"""Per-module fact extraction for the interprocedural dataflow engine.
+
+This is the *local* half of the analysis: one pass over a module's AST
+produces a :class:`ModuleFacts` record — functions with their parameter
+lists, call sites, attribute traffic and return provenance, classes with
+their bases and annotated attributes, the import table, and any module-level
+``{"name": Class}`` dispatch dicts (the algorithm registry).  Everything in
+here is JSON-serialisable so the summary cache can key it by file content
+hash; nothing in here looks at any *other* module — linking is the job of
+:mod:`repro.privlint.dataflow.callgraph`.
+
+Value provenance is tracked as small string tokens:
+
+* ``p:name`` — the function parameter ``name``,
+* ``a:attr`` — the instance attribute ``self.attr``,
+* ``g:name`` — a module-level / builtin name,
+* ``c:line:col`` — the return value of the call site at that location.
+
+The local environment is flow-insensitive (two passes over the statement
+list, so loop-carried assignments stabilise) and deliberately coarse: a
+token set answers "*could* this value derive from X", which is the right
+polarity for privacy lint — false negatives are the expensive failure mode.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+
+__all__ = [
+    "CallFacts",
+    "ClassFacts",
+    "FunctionFacts",
+    "ModuleFacts",
+    "extract_module_facts",
+    "module_name_for_path",
+]
+
+FACTS_VERSION = 1
+
+#: Attribute names treated as locks for the ``with self._lock:`` discipline.
+_LOCKISH = ("lock", "mutex", "cv", "cond")
+
+#: Array *metadata* attributes carry no data provenance: ``x.shape`` of a
+#: tainted histogram is public domain structure (the runtime ``TaintedArray``
+#: agrees — its ``.shape`` is a plain tuple).
+_STRUCTURAL_ATTRS = {"shape", "ndim", "size", "dtype", "itemsize", "nbytes",
+                     "flags"}
+
+
+def _is_lockish(dotted: str | None) -> bool:
+    if not dotted:
+        return False
+    last = dotted.rsplit(".", 1)[-1].lower()
+    return any(part in last for part in _LOCKISH)
+
+
+@dataclass
+class CallFacts:
+    """One call site, with the provenance of everything that flows into it."""
+
+    key: str                      #: stable token, ``"c:line:col"``
+    line: int
+    col: int                      #: 1-based
+    end_lineno: int
+    callee: str | None            #: dotted callee (``"self.m"``, ``"np.exp"``) or None
+    subscript_of: str | None      #: for ``TABLE[k](...)`` — dotted name of ``TABLE``
+    base_tokens: tuple[str, ...]  #: provenance of the receiver for method calls
+    args: tuple[tuple[str, ...], ...]      #: positional argument token sets
+    kwargs: dict[str, tuple[str, ...]]     #: keyword argument token sets
+    has_star: bool                #: ``*args``/``**kwargs`` present at the site
+
+    def all_arg_tokens(self) -> set[str]:
+        tokens: set[str] = set()
+        for arg in self.args:
+            tokens.update(arg)
+        for arg in self.kwargs.values():
+            tokens.update(arg)
+        return tokens
+
+    def as_dict(self) -> dict:
+        return {
+            "key": self.key, "line": self.line, "col": self.col,
+            "end_lineno": self.end_lineno, "callee": self.callee,
+            "subscript_of": self.subscript_of,
+            "base_tokens": list(self.base_tokens),
+            "args": [list(a) for a in self.args],
+            "kwargs": {k: list(v) for k, v in self.kwargs.items()},
+            "has_star": self.has_star,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CallFacts":
+        return cls(
+            key=data["key"], line=data["line"], col=data["col"],
+            end_lineno=data["end_lineno"], callee=data["callee"],
+            subscript_of=data["subscript_of"],
+            base_tokens=tuple(data["base_tokens"]),
+            args=tuple(tuple(a) for a in data["args"]),
+            kwargs={k: tuple(v) for k, v in data["kwargs"].items()},
+            has_star=data["has_star"],
+        )
+
+
+@dataclass
+class FunctionFacts:
+    """Summary-ready facts about one function or method."""
+
+    qualname: str                 #: ``"Class.method"`` or bare function name
+    name: str
+    class_name: str | None
+    line: int
+    col: int
+    params: tuple[str, ...]       #: positional + keyword-only, in order
+    vararg: str | None
+    kwarg: str | None
+    annotations: dict[str, tuple[str, ...]]  #: param -> candidate dotted type names
+    returns: tuple[str, ...]      #: union of all ``return`` expression tokens
+    calls: list[CallFacts]
+    #: ``(attr, tokens, line, under_lock)`` for every ``self.attr = value``
+    attr_stores: list[tuple[str, tuple[str, ...], int, bool]]
+    #: ``(attr, line, under_lock)`` for every ``self.attr`` read
+    attr_loads: list[tuple[str, int, bool]]
+    acquires_lock: bool           #: body contains ``with self._lock:`` (or acquire())
+    decorators: tuple[str, ...]
+
+    def call_by_key(self, key: str) -> CallFacts | None:
+        for call in self.calls:
+            if call.key == key:
+                return call
+        return None
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None and "staticmethod" not in self.decorators
+
+    def bindable_params(self) -> tuple[str, ...]:
+        """Parameters a caller can bind (``self``/``cls`` stripped for methods)."""
+        params = self.params
+        if self.is_method and params:
+            params = params[1:]
+        return params
+
+    def as_dict(self) -> dict:
+        return {
+            "qualname": self.qualname, "name": self.name,
+            "class_name": self.class_name, "line": self.line, "col": self.col,
+            "params": list(self.params), "vararg": self.vararg,
+            "kwarg": self.kwarg,
+            "annotations": {k: list(v) for k, v in self.annotations.items()},
+            "returns": list(self.returns),
+            "calls": [c.as_dict() for c in self.calls],
+            "attr_stores": [[a, list(t), ln, lk] for a, t, ln, lk in self.attr_stores],
+            "attr_loads": [list(entry) for entry in self.attr_loads],
+            "acquires_lock": self.acquires_lock,
+            "decorators": list(self.decorators),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FunctionFacts":
+        return cls(
+            qualname=data["qualname"], name=data["name"],
+            class_name=data["class_name"], line=data["line"], col=data["col"],
+            params=tuple(data["params"]), vararg=data["vararg"],
+            kwarg=data["kwarg"],
+            annotations={k: tuple(v) for k, v in data["annotations"].items()},
+            returns=tuple(data["returns"]),
+            calls=[CallFacts.from_dict(c) for c in data["calls"]],
+            attr_stores=[(a, tuple(t), ln, lk)
+                         for a, t, ln, lk in data["attr_stores"]],
+            attr_loads=[(a, ln, lk) for a, ln, lk in data["attr_loads"]],
+            acquires_lock=data["acquires_lock"],
+            decorators=tuple(data["decorators"]),
+        )
+
+
+@dataclass
+class ClassFacts:
+    name: str
+    line: int
+    bases: tuple[str, ...]                     #: dotted base-class names as written
+    methods: tuple[str, ...]                   #: method names defined here
+    attr_annotations: dict[str, tuple[str, ...]]  #: class-body ``attr: Type``
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name, "line": self.line, "bases": list(self.bases),
+            "methods": list(self.methods),
+            "attr_annotations": {k: list(v)
+                                 for k, v in self.attr_annotations.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ClassFacts":
+        return cls(
+            name=data["name"], line=data["line"], bases=tuple(data["bases"]),
+            methods=tuple(data["methods"]),
+            attr_annotations={k: tuple(v)
+                              for k, v in data["attr_annotations"].items()},
+        )
+
+
+@dataclass
+class ModuleFacts:
+    """Everything the linker needs to know about one module."""
+
+    path: str                       #: posix path as reported in findings
+    module: str                     #: dotted module name (``repro.core.plan``)
+    imports: dict[str, str]         #: local name -> absolute dotted target
+    functions: dict[str, FunctionFacts] = field(default_factory=dict)
+    classes: dict[str, ClassFacts] = field(default_factory=dict)
+    dispatch_dicts: dict[str, dict[str, str]] = field(default_factory=dict)
+    suppressions: dict[int, set[str]] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "version": FACTS_VERSION,
+            "path": self.path, "module": self.module,
+            "imports": dict(self.imports),
+            "functions": {k: f.as_dict() for k, f in self.functions.items()},
+            "classes": {k: c.as_dict() for k, c in self.classes.items()},
+            "dispatch_dicts": {k: dict(v)
+                               for k, v in self.dispatch_dicts.items()},
+            "suppressions": {str(line): sorted(ids)
+                             for line, ids in self.suppressions.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ModuleFacts":
+        if data.get("version") != FACTS_VERSION:
+            raise ValueError(f"facts version {data.get('version')!r} != "
+                             f"{FACTS_VERSION}")
+        return cls(
+            path=data["path"], module=data["module"],
+            imports=dict(data["imports"]),
+            functions={k: FunctionFacts.from_dict(f)
+                       for k, f in data["functions"].items()},
+            classes={k: ClassFacts.from_dict(c)
+                     for k, c in data["classes"].items()},
+            dispatch_dicts={k: dict(v)
+                            for k, v in data["dispatch_dicts"].items()},
+            suppressions={int(line): set(ids)
+                          for line, ids in data["suppressions"].items()},
+        )
+
+
+def module_name_for_path(path: str) -> str:
+    """Dotted module name for a file path (``src/repro/core/plan.py`` ->
+    ``repro.core.plan``; paths outside ``src`` keep their directory chain)."""
+    parts = list(Path(path).parts)
+    if "src" in parts:
+        parts = parts[parts.index("src") + 1:]
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][:-3]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _dotted(node: ast.AST) -> str | None:
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+            and node.func.id == "super":
+        parts.append("super")
+        return ".".join(reversed(parts))
+    return None
+
+
+def _annotation_types(node: ast.AST | None) -> tuple[str, ...]:
+    """Candidate dotted class names mentioned in an annotation expression.
+
+    ``Workload | None`` -> ("Workload",); ``np.random.Generator | int`` ->
+    ("np.random.Generator",).  String annotations are re-parsed.
+    """
+    if node is None:
+        return ()
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return ()
+    names: list[str] = []
+    for inner in ast.walk(node):
+        if isinstance(inner, (ast.Name, ast.Attribute)):
+            dotted = _dotted(inner)
+            if dotted and dotted not in ("None", "int", "float", "str", "bool"):
+                names.append(dotted)
+    # keep outermost spellings only (an Attribute walk also yields its parts)
+    result: list[str] = []
+    for name in names:
+        if not any(other != name and other.endswith("." + name.split(".")[-1])
+                   and name in other for other in names):
+            if name not in result:
+                result.append(name)
+    return tuple(result)
+
+
+def _relative_base(module: str, is_package: bool, level: int) -> str:
+    parts = module.split(".") if module else []
+    if not is_package:
+        parts = parts[:-1]
+    if level > 1:
+        parts = parts[: len(parts) - (level - 1)] if level - 1 <= len(parts) else []
+    return ".".join(parts)
+
+
+def _collect_module_imports(tree: ast.Module, module: str,
+                            is_package: bool) -> dict[str, str]:
+    imports: dict[str, str] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.asname:
+                    imports[alias.asname] = alias.name
+                else:
+                    head = alias.name.split(".")[0]
+                    imports[head] = head
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _relative_base(module, is_package, node.level)
+                target = f"{base}.{node.module}" if node.module else base
+            else:
+                target = node.module or ""
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                imports[alias.asname or alias.name] = f"{target}.{alias.name}"
+    return imports
+
+
+class _FunctionExtractor:
+    """Walks one function body, building the token environment and recording
+    call sites / attribute traffic.  Two passes stabilise loop-carried flow;
+    recording dedupes on source location so the second pass just refreshes
+    token sets."""
+
+    def __init__(self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+                 class_name: str | None):
+        self.node = node
+        self.class_name = class_name
+        args = node.args
+        ordered = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        self.params = tuple(ordered)
+        self.vararg = args.vararg.arg if args.vararg else None
+        self.kwarg = args.kwarg.arg if args.kwarg else None
+        self.env: dict[str, set[str]] = {p: {f"p:{p}"} for p in ordered}
+        if self.vararg:
+            self.env[self.vararg] = {f"p:{self.vararg}"}
+        if self.kwarg:
+            self.env[self.kwarg] = {f"p:{self.kwarg}"}
+        self.calls: dict[str, CallFacts] = {}
+        self.attr_stores: dict[tuple[str, int], tuple[str, set[str], int, bool]] = {}
+        self.attr_loads: set[tuple[str, int, bool]] = set()
+        self.returns: set[str] = set()
+        self.acquires_lock = False
+        self.annotations: dict[str, tuple[str, ...]] = {}
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            types = _annotation_types(arg.annotation)
+            if types:
+                self.annotations[arg.arg] = types
+
+    def extract(self) -> FunctionFacts:
+        for _ in range(2):
+            for stmt in self.node.body:
+                self._stmt(stmt, locked=False)
+        decorators = tuple(d for d in (_dotted(dec) for dec
+                                       in self.node.decorator_list) if d)
+        qualname = (f"{self.class_name}.{self.node.name}"
+                    if self.class_name else self.node.name)
+        return FunctionFacts(
+            qualname=qualname, name=self.node.name, class_name=self.class_name,
+            line=self.node.lineno, col=self.node.col_offset + 1,
+            params=self.params, vararg=self.vararg, kwarg=self.kwarg,
+            annotations=self.annotations, returns=tuple(sorted(self.returns)),
+            calls=sorted(self.calls.values(), key=lambda c: (c.line, c.col)),
+            attr_stores=[(a, tuple(sorted(t)), ln, lk) for (a, ln), (_, t, _, lk)
+                         in sorted(self.attr_stores.items(),
+                                   key=lambda kv: kv[0][1])],
+            attr_loads=sorted(self.attr_loads, key=lambda e: (e[1], e[0])),
+            acquires_lock=self.acquires_lock, decorators=decorators,
+        )
+
+    # -- statements ---------------------------------------------------------------
+    def _stmt(self, stmt: ast.stmt, locked: bool) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: inline its body so closure reads and the calls
+            # it makes are attributed to the enclosing function; its own
+            # params become opaque locals.
+            saved = {p.arg: self.env.get(p.arg)
+                     for p in stmt.args.posonlyargs + stmt.args.args
+                     + stmt.args.kwonlyargs}
+            for p in saved:
+                self.env[p] = set()
+            for inner in stmt.body:
+                self._stmt(inner, locked)
+            for p, tokens in saved.items():
+                if tokens is None:
+                    self.env.pop(p, None)
+                else:
+                    self.env[p] = tokens
+            self.env[stmt.name] = set()
+        elif isinstance(stmt, ast.ClassDef):
+            pass  # classes nested in functions are out of scope
+        elif isinstance(stmt, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+            value = getattr(stmt, "value", None)
+            tokens = self._tokens(value, locked) if value is not None else set()
+            targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                else [stmt.target]
+            for target in targets:
+                self._bind(target, tokens, locked)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.returns |= self._tokens(stmt.value, locked)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            now_locked = locked
+            for item in stmt.items:
+                expr = item.context_expr
+                self._tokens(expr, locked)
+                target_dotted = _dotted(expr.func if isinstance(expr, ast.Call)
+                                        else expr)
+                if _is_lockish(target_dotted):
+                    now_locked = True
+                    self.acquires_lock = True
+                if item.optional_vars is not None:
+                    self._bind(item.optional_vars, set(), locked)
+            for inner in stmt.body:
+                self._stmt(inner, now_locked)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            tokens = self._tokens(stmt.iter, locked)
+            self._bind(stmt.target, tokens, locked)
+            for inner in stmt.body + stmt.orelse:
+                self._stmt(inner, locked)
+        elif isinstance(stmt, ast.While):
+            self._tokens(stmt.test, locked)
+            for inner in stmt.body + stmt.orelse:
+                self._stmt(inner, locked)
+        elif isinstance(stmt, ast.If):
+            self._tokens(stmt.test, locked)
+            for inner in stmt.body + stmt.orelse:
+                self._stmt(inner, locked)
+        elif isinstance(stmt, (ast.Try, getattr(ast, "TryStar", ast.Try))):
+            for inner in stmt.body + stmt.orelse + stmt.finalbody:
+                self._stmt(inner, locked)
+            for handler in stmt.handlers:
+                for inner in handler.body:
+                    self._stmt(inner, locked)
+        elif isinstance(stmt, ast.Expr):
+            self._tokens(stmt.value, locked)
+        elif isinstance(stmt, (ast.Assert, ast.Raise, ast.Delete)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self._tokens(child, locked)
+        # Pass/Break/Continue/Import/Global/Nonlocal: nothing to track
+
+    def _bind(self, target: ast.expr, tokens: set[str], locked: bool) -> None:
+        if isinstance(target, ast.Name):
+            self.env.setdefault(target.id, set()).update(tokens)
+        elif isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                key = (target.attr, target.lineno)
+                prior = self.attr_stores.get(key)
+                merged = set(tokens) | (prior[1] if prior else set())
+                self.attr_stores[key] = (target.attr, merged, target.lineno,
+                                         locked or (prior[3] if prior else False))
+            else:
+                self._tokens(target.value, locked)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._bind(element, tokens, locked)
+        elif isinstance(target, ast.Subscript):
+            # out[idx] = value taints the container
+            self._tokens(target.slice, locked)
+            self._bind(target.value, tokens, locked)
+        elif isinstance(target, ast.Starred):
+            self._bind(target.value, tokens, locked)
+
+    # -- expressions --------------------------------------------------------------
+    def _tokens(self, node: ast.expr | None, locked: bool) -> set[str]:
+        if node is None:
+            return set()
+        if isinstance(node, ast.Name):
+            if node.id in self.env:
+                return set(self.env[node.id])
+            return {f"g:{node.id}"}
+        if isinstance(node, ast.Attribute):
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                if isinstance(node.ctx, ast.Load):
+                    self.attr_loads.add((node.attr, node.lineno, locked))
+                return {f"a:{node.attr}"}
+            if node.attr in _STRUCTURAL_ATTRS:
+                self._tokens(node.value, locked)  # still record calls/loads
+                return set()
+            return self._tokens(node.value, locked)
+        if isinstance(node, ast.Call):
+            return {self._record_call(node, locked)}
+        if isinstance(node, ast.Constant):
+            return set()
+        if isinstance(node, ast.Lambda):
+            saved = {p.arg: self.env.get(p.arg)
+                     for p in node.args.posonlyargs + node.args.args
+                     + node.args.kwonlyargs}
+            for p in saved:
+                self.env[p] = set()
+            tokens = self._tokens(node.body, locked)
+            for p, old in saved.items():
+                if old is None:
+                    self.env.pop(p, None)
+                else:
+                    self.env[p] = old
+            return tokens
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp,
+                             ast.DictComp)):
+            tokens: set[str] = set()
+            saved: dict[str, set[str] | None] = {}
+            for gen in node.generators:
+                iter_tokens = self._tokens(gen.iter, locked)
+                tokens |= iter_tokens
+                for name in self._target_names(gen.target):
+                    saved.setdefault(name, self.env.get(name))
+                    self.env[name] = set(iter_tokens)
+                for cond in gen.ifs:
+                    self._tokens(cond, locked)
+            if isinstance(node, ast.DictComp):
+                tokens |= self._tokens(node.key, locked)
+                tokens |= self._tokens(node.value, locked)
+            else:
+                tokens |= self._tokens(node.elt, locked)
+            for name, old in saved.items():
+                if old is None:
+                    self.env.pop(name, None)
+                else:
+                    self.env[name] = old
+            return tokens
+        if isinstance(node, ast.NamedExpr):
+            tokens = self._tokens(node.value, locked)
+            self._bind(node.target, tokens, locked)
+            return tokens
+        # Generic container / operator nodes: union of child expressions.
+        tokens = set()
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                tokens |= self._tokens(child, locked)
+        return tokens
+
+    @staticmethod
+    def _target_names(target: ast.expr) -> list[str]:
+        names = []
+        for inner in ast.walk(target):
+            if isinstance(inner, ast.Name):
+                names.append(inner.id)
+        return names
+
+    def _record_call(self, node: ast.Call, locked: bool) -> str:
+        key = f"c:{node.lineno}:{node.col_offset}"
+        callee = _dotted(node.func)
+        subscript_of = None
+        base_tokens: set[str] = set()
+        if isinstance(node.func, ast.Subscript):
+            subscript_of = _dotted(node.func.value)
+            base_tokens = self._tokens(node.func.value, locked)
+            self._tokens(node.func.slice, locked)
+        elif isinstance(node.func, ast.Attribute):
+            base_tokens = self._tokens(node.func.value, locked)
+        elif isinstance(node.func, ast.Call):
+            base_tokens = self._tokens(node.func, locked)
+        if _is_lockish(callee) and callee and callee.endswith(
+                (".acquire", ".release", ".__enter__")):
+            self.acquires_lock = True
+        args: list[tuple[str, ...]] = []
+        has_star = False
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                has_star = True
+                args.append(tuple(sorted(self._tokens(arg.value, locked))))
+            else:
+                args.append(tuple(sorted(self._tokens(arg, locked))))
+        kwargs: dict[str, tuple[str, ...]] = {}
+        for kw in node.keywords:
+            tokens = tuple(sorted(self._tokens(kw.value, locked)))
+            if kw.arg is None:
+                has_star = True
+                kwargs.setdefault("**", tokens)
+            else:
+                kwargs[kw.arg] = tokens
+        self.calls[key] = CallFacts(
+            key=key, line=node.lineno, col=node.col_offset + 1,
+            end_lineno=node.end_lineno or node.lineno, callee=callee,
+            subscript_of=subscript_of,
+            base_tokens=tuple(sorted(base_tokens)),
+            args=tuple(args), kwargs=kwargs, has_star=has_star,
+        )
+        return key
+
+
+def extract_module_facts(source: str, path: str, tree: ast.Module | None = None,
+                         suppressions: dict[int, set[str]] | None = None,
+                         ) -> ModuleFacts:
+    """Extract all dataflow facts for one module (parses if no tree given)."""
+    if tree is None:
+        tree = ast.parse(source, filename=path)
+    posix = Path(path).as_posix()
+    module = module_name_for_path(posix)
+    is_package = posix.endswith("__init__.py")
+    facts = ModuleFacts(
+        path=posix, module=module,
+        imports=_collect_module_imports(tree, module, is_package),
+        suppressions=dict(suppressions or {}),
+    )
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = _FunctionExtractor(node, None).extract()
+            facts.functions[fn.qualname] = fn
+        elif isinstance(node, ast.ClassDef):
+            _extract_class(node, facts)
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                and isinstance(node.targets[0], ast.Name) \
+                and isinstance(node.value, ast.Dict):
+            table = _dispatch_entries(node.value)
+            if table:
+                facts.dispatch_dicts[node.targets[0].id] = table
+    return facts
+
+
+def _extract_class(node: ast.ClassDef, facts: ModuleFacts) -> None:
+    bases = tuple(b for b in (_dotted(base) for base in node.bases) if b)
+    methods: list[str] = []
+    attr_annotations: dict[str, tuple[str, ...]] = {}
+    for stmt in node.body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            methods.append(stmt.name)
+            fn = _FunctionExtractor(stmt, node.name).extract()
+            facts.functions[fn.qualname] = fn
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            types = _annotation_types(stmt.annotation)
+            if types:
+                attr_annotations[stmt.target.id] = types
+    facts.classes[node.name] = ClassFacts(
+        name=node.name, line=node.lineno, bases=bases,
+        methods=tuple(methods), attr_annotations=attr_annotations,
+    )
+
+
+def _dispatch_entries(node: ast.Dict) -> dict[str, str]:
+    """``{"Identity": algs.Identity, ...}`` -> {"Identity": "algs.Identity"}."""
+    table: dict[str, str] = {}
+    for key, value in zip(node.keys, node.values):
+        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+            dotted = _dotted(value)
+            if dotted:
+                table[key.value] = dotted
+    return table

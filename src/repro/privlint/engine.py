@@ -7,9 +7,10 @@ numpy import aliases; every rule walks that shared context.
 
 Inline suppressions follow the familiar lint idiom::
 
-    noisy = x + laplace_noise(scale, n, rng)  # privlint: disable=PL003
+    noisy = x + laplace_noise(scale, n, rng)  # privlint: disable=PLxxx
 
-``disable=PL003,PL004`` silences several rules on one line and
+``disable=PL003,PL004`` (any real rule ids) silences several rules on one
+line and
 ``disable=all`` silences every rule; the comment must sit on the line the
 finding is reported at (the first line of a multi-line statement).
 """
@@ -22,9 +23,10 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
-from .findings import Finding, Rule
+from .findings import Finding, ProjectRule, Rule
 
-__all__ = ["LintResult", "ModuleContext", "lint_paths", "lint_source"]
+__all__ = ["LintResult", "ModuleContext", "UNUSED_SUPPRESSION_RULE",
+           "lint_paths", "lint_source"]
 
 _SUPPRESS_RE = re.compile(r"#\s*privlint:\s*disable=([A-Za-z0-9_,\s]+)")
 
@@ -163,8 +165,70 @@ class LintResult:
         return 1 if self.findings else 0
 
 
+class _UnusedSuppressionRule:
+    """PL100 — a ``# privlint: disable=`` comment that silences nothing.
+
+    Not a real AST rule: the engine synthesises these findings after every
+    selected rule has run, ruff's unused-``noqa`` style.  Only rule ids that
+    actually ran are judged — a suppression for an unselected rule is left
+    alone."""
+
+    id = "PL100"
+    name = "unused-suppression"
+    description = ("This `# privlint: disable=` comment suppresses nothing; "
+                   "either the finding was fixed (delete the comment) or the "
+                   "rule id is wrong (the real finding is escaping).")
+    severity = "warning"
+
+
+UNUSED_SUPPRESSION_RULE = _UnusedSuppressionRule()
+
+
+def _apply_suppressions(raw: Iterable[Finding],
+                        suppressions: dict[int, set[str]],
+                        used: dict[int, set[str]],
+                        findings: list[Finding],
+                        suppressed: list[Finding]) -> None:
+    for finding in raw:
+        disabled = suppressions.get(finding.line, ())
+        if "all" in disabled or finding.rule in disabled:
+            suppressed.append(finding)
+            bucket = used.setdefault(finding.line, set())
+            if finding.rule in disabled:
+                bucket.add(finding.rule)
+            if "all" in disabled:
+                bucket.add("all")
+        else:
+            findings.append(finding)
+
+
+def _unused_suppression_findings(
+        path: str, suppressions: dict[int, set[str]],
+        used: dict[int, set[str]], active_ids: set[str]) -> list[Finding]:
+    findings: list[Finding] = []
+    for line, declared in sorted(suppressions.items()):
+        used_ids = used.get(line, set())
+        if "all" in declared:
+            unused = set() if used_ids else {"all"}
+        else:
+            unused = {i for i in declared & active_ids if i not in used_ids}
+        if not unused:
+            continue
+        ids = ", ".join(sorted(unused))
+        finding = Finding(
+            path=path, line=line, rule=UNUSED_SUPPRESSION_RULE.id,
+            severity=UNUSED_SUPPRESSION_RULE.severity,
+            message=f"unused suppression ({ids}): no matching finding on "
+                    f"this line — delete the comment or fix the rule id")
+        disabled = suppressions.get(line, ())
+        if UNUSED_SUPPRESSION_RULE.id not in disabled:
+            findings.append(finding)
+    return findings
+
+
 def lint_source(source: str, path: str, rules: Sequence[Rule],
-                filename: str | None = None) -> LintResult:
+                filename: str | None = None, *,
+                report_unused: bool = False) -> LintResult:
     """Lint one in-memory module (the seam the tests and quickstart use)."""
     try:
         tree = ast.parse(source, filename=filename or path)
@@ -174,13 +238,13 @@ def lint_source(source: str, path: str, rules: Sequence[Rule],
                            suppressions=parse_suppressions(source))
     findings: list[Finding] = []
     suppressed: list[Finding] = []
+    used: dict[int, set[str]] = {}
     for rule in rules:
-        for finding in rule.check(module):
-            disabled = module.suppressions.get(finding.line, ())
-            if "all" in disabled or finding.rule in disabled:
-                suppressed.append(finding)
-            else:
-                findings.append(finding)
+        _apply_suppressions(rule.check(module), module.suppressions, used,
+                            findings, suppressed)
+    if report_unused:
+        findings.extend(_unused_suppression_findings(
+            path, module.suppressions, used, {rule.id for rule in rules}))
     findings.sort()
     suppressed.sort()
     return LintResult(findings, suppressed, [])
@@ -195,21 +259,58 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
             yield path
 
 
-def lint_paths(paths: Iterable[str | Path], rules: Sequence[Rule]) -> LintResult:
-    """Lint every ``*.py`` under ``paths`` (files or directories)."""
+def lint_paths(paths: Iterable[str | Path], rules: Sequence[Rule], *,
+               project_rules: Sequence[ProjectRule] = (),
+               report_unused: bool = False,
+               cache_path: str | Path | None = None) -> LintResult:
+    """Lint every ``*.py`` under ``paths`` (files or directories).
+
+    Module rules run file-by-file; ``project_rules`` (PL007–PL010) run once
+    over the whole file set through the interprocedural dataflow analysis,
+    with per-module facts cached at ``cache_path`` when given.  With
+    ``report_unused``, suppression comments that silenced nothing become
+    PL100 warnings.
+    """
     findings: list[Finding] = []
     suppressed: list[Finding] = []
     errors: list[str] = []
+    sources: dict[str, str] = {}
+    suppression_maps: dict[str, dict[int, set[str]]] = {}
+    usage: dict[str, dict[int, set[str]]] = {}
     for file_path in iter_python_files(paths):
+        posix = file_path.as_posix()
         try:
             source = file_path.read_text(encoding="utf-8")
         except OSError as exc:
-            errors.append(f"{file_path.as_posix()}: {exc}")
+            errors.append(f"{posix}: {exc}")
             continue
-        result = lint_source(source, file_path.as_posix(), rules)
-        findings.extend(result.findings)
-        suppressed.extend(result.suppressed)
-        errors.extend(result.errors)
+        sources[posix] = source
+        suppression_maps[posix] = parse_suppressions(source)
+        usage[posix] = {}
+        try:
+            tree = ast.parse(source, filename=posix)
+        except SyntaxError as exc:
+            errors.append(f"{posix}: syntax error: {exc}")
+            continue
+        module = ModuleContext(path=posix, source=source, tree=tree,
+                               suppressions=suppression_maps[posix])
+        for rule in rules:
+            _apply_suppressions(rule.check(module), module.suppressions,
+                                usage[posix], findings, suppressed)
+    if project_rules and sources:
+        from .dataflow import FactsCache, analyze_sources
+        analysis = analyze_sources(sources, cache=FactsCache(cache_path))
+        for project_rule in project_rules:
+            for finding in project_rule.check_project(analysis):
+                _apply_suppressions(
+                    [finding], suppression_maps.get(finding.path, {}),
+                    usage.setdefault(finding.path, {}), findings, suppressed)
+    if report_unused:
+        active = {rule.id for rule in rules} \
+            | {rule.id for rule in project_rules}
+        for posix, suppressions in suppression_maps.items():
+            findings.extend(_unused_suppression_findings(
+                posix, suppressions, usage.get(posix, {}), active))
     findings.sort()
     suppressed.sort()
     return LintResult(findings, suppressed, errors)

@@ -14,7 +14,7 @@ from typing import TYPE_CHECKING, Iterable, Protocol, runtime_checkable
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .engine import ModuleContext
 
-__all__ = ["Finding", "Rule", "SEVERITIES"]
+__all__ = ["Finding", "ProjectRule", "Rule", "SEVERITIES"]
 
 #: Recognised severities, most severe first.  Every shipped rule is an
 #: ``error`` (CI gates on them); ``warning`` exists for advisory rules.
@@ -30,9 +30,15 @@ class Finding:
     rule: str       #: rule id, e.g. ``"PL001"``
     severity: str   #: ``"error"`` or ``"warning"``
     message: str    #: human-readable description of the violation
+    col: int = 1         #: 1-based start column (SARIF regions need it)
+    end_lineno: int = 0  #: last source line of the finding; 0 means same as ``line``
 
     def location(self) -> str:
         return f"{self.path}:{self.line}"
+
+    @property
+    def end_line(self) -> int:
+        return self.end_lineno or self.line
 
     def baseline_key(self) -> tuple[str, str, str]:
         """Identity used for baseline matching.
@@ -49,6 +55,8 @@ class Finding:
             "severity": self.severity,
             "path": self.path,
             "line": self.line,
+            "col": self.col,
+            "end_lineno": self.end_line,
             "message": self.message,
         }
 
@@ -67,6 +75,24 @@ class Rule(Protocol):
     severity: str
 
     def check(self, module: "ModuleContext") -> Iterable[Finding]:
+        ...  # pragma: no cover - protocol
+
+
+@runtime_checkable
+class ProjectRule(Protocol):
+    """One privacy invariant checked over the *whole project* at once.
+
+    Project rules consume a :class:`~repro.privlint.dataflow.ProjectAnalysis`
+    (call graph + interprocedural summaries) instead of a single module, so
+    they can reason about flows that cross function and file boundaries.
+    """
+
+    id: str
+    name: str
+    description: str
+    severity: str
+
+    def check_project(self, analysis) -> Iterable[Finding]:
         ...  # pragma: no cover - protocol
 
 

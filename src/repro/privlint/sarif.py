@@ -1,0 +1,101 @@
+"""SARIF 2.1.0 output so CI findings render as code-scanning annotations.
+
+One run, one tool (``privlint``), one result per finding.  New findings are
+plain results; baselined and inline-suppressed findings are included with a
+``suppressions`` entry (kind ``external`` / ``inSource``) so code-scanning
+shows them as resolved rather than re-announcing them on every push.
+
+The text and JSON formats are the stable machine interfaces; this module is
+additive and must never change them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Mapping, Sequence
+
+from .findings import Finding
+
+__all__ = ["SARIF_VERSION", "render_sarif", "sarif_document"]
+
+SARIF_VERSION = "2.1.0"
+_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+           "Schemata/sarif-schema-2.1.0.json")
+
+_LEVELS = {"error": "error", "warning": "warning"}
+
+
+def _rule_metadata(rules_by_id: Mapping[str, object],
+                   used_ids: Sequence[str]) -> list[dict]:
+    descriptors = []
+    for rule_id in sorted(used_ids):
+        rule = rules_by_id.get(rule_id)
+        descriptor: dict = {"id": rule_id}
+        if rule is not None:
+            descriptor["name"] = getattr(rule, "name", rule_id)
+            description = getattr(rule, "description", "")
+            if description:
+                descriptor["shortDescription"] = {"text": description}
+            descriptor["defaultConfiguration"] = {
+                "level": _LEVELS.get(getattr(rule, "severity", "error"),
+                                     "error")}
+        descriptors.append(descriptor)
+    return descriptors
+
+
+def _result(finding: Finding, rule_index: Mapping[str, int],
+            suppression_kind: str | None) -> dict:
+    result: dict = {
+        "ruleId": finding.rule,
+        "level": _LEVELS.get(finding.severity, "error"),
+        "message": {"text": finding.message},
+        "locations": [{
+            "physicalLocation": {
+                "artifactLocation": {"uri": finding.path,
+                                     "uriBaseId": "SRCROOT"},
+                "region": {
+                    "startLine": finding.line,
+                    "startColumn": max(finding.col, 1),
+                    "endLine": finding.end_line,
+                },
+            },
+        }],
+    }
+    if finding.rule in rule_index:
+        result["ruleIndex"] = rule_index[finding.rule]
+    if suppression_kind is not None:
+        result["suppressions"] = [{"kind": suppression_kind}]
+    return result
+
+
+def sarif_document(new: Sequence[Finding], grandfathered: Sequence[Finding],
+                   suppressed: Sequence[Finding],
+                   rules_by_id: Mapping[str, object]) -> dict:
+    used_ids = sorted({f.rule for group in (new, grandfathered, suppressed)
+                       for f in group})
+    descriptors = _rule_metadata(rules_by_id, used_ids)
+    rule_index = {d["id"]: i for i, d in enumerate(descriptors)}
+    results = [_result(f, rule_index, None) for f in new]
+    results += [_result(f, rule_index, "external") for f in grandfathered]
+    results += [_result(f, rule_index, "inSource") for f in suppressed]
+    return {
+        "$schema": _SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {"driver": {
+                "name": "privlint",
+                "informationUri":
+                    "https://github.com/dpbench/repro",
+                "rules": descriptors,
+            }},
+            "results": results,
+        }],
+    }
+
+
+def render_sarif(new: Sequence[Finding], grandfathered: Sequence[Finding],
+                 suppressed: Sequence[Finding],
+                 rules_by_id: Mapping[str, object], out) -> None:
+    json.dump(sarif_document(new, grandfathered, suppressed, rules_by_id),
+              out, indent=2)
+    out.write("\n")

@@ -139,7 +139,8 @@ class QueryCache:
             return len(stale)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     @property
     def maxsize(self) -> int:

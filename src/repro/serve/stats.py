@@ -65,7 +65,8 @@ class ServiceStats:
 
     @property
     def queries(self) -> int:
-        return self._queries
+        with self._lock:
+            return self._queries
 
     def snapshot(self) -> StatsSnapshot:
         with self._lock:

@@ -92,7 +92,8 @@ class ReleaseStore:
         return release
 
     def current(self) -> Release:
-        release = self._release
+        with self._lock:
+            release = self._release
         if release is None:
             raise RuntimeError(
                 "no release published yet — call ReleaseService.release() first")
@@ -101,7 +102,8 @@ class ReleaseStore:
     @property
     def version(self) -> int:
         """Version of the current release (0 before the first publish)."""
-        return self._version
+        with self._lock:
+            return self._version
 
     @property
     def history(self) -> list[ReleaseMetadata]:

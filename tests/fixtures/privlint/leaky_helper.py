@@ -1,0 +1,36 @@
+"""Committed true-positive fixture for PL007 (and true-negative for PL002).
+
+This is the PR-3 leak class routed around the per-module check: ``select``
+stashes the true histogram on the instance under a *non*-data name, and
+``infer`` reaches it through a helper.  ``infer``'s body never mentions a
+data-named variable, so the module-local PL002 stays silent; only the
+interprocedural analysis sees that ``_rescale`` reads an attribute whose
+value came from ``select``'s ``x``.
+
+tests/test_privlint_dataflow.py asserts both halves (PL002 silent, PL007
+firing with a call-path trace), which is what keeps this fixture honest.
+"""
+
+import numpy as np
+
+
+def laplace_noise(scale, size, rng):
+    # Stand-in mechanism primitive, same shape as repro.algorithms.mechanisms.
+    return rng.laplace(0.0, scale, size)  # privlint: disable=PL003
+
+
+class StashingAlgorithm:
+    """Deliberately broken: keeps the true data past the noise stage."""
+
+    def select(self, x, workload, budget, rng):
+        eps = budget.spend_all("all")
+        self._stash = np.asarray(x, dtype=float)
+        return x + laplace_noise(1.0 / eps, x.size, rng)
+
+    def _rescale(self, values):
+        # The leak: `values` is rescaled against the stashed *true* total.
+        return values * (self._stash.sum() / max(values.sum(), 1.0))
+
+    def infer(self, measurements, plan):
+        # Looks pure: only the measurements and a private helper.
+        return self._rescale(measurements)

@@ -646,8 +646,10 @@ class TestCli:
                                  "suppressed", "stale_baseline", "counts"}
         assert document["version"] == 1
         (finding,) = document["findings"]
-        assert set(finding) == {"rule", "severity", "path", "line", "message"}
+        assert set(finding) == {"rule", "severity", "path", "line", "col",
+                                "end_lineno", "message"}
         assert finding["rule"] == "PL003"
+        assert finding["col"] >= 1
         assert document["counts"]["findings"] == 1
 
     def test_rule_selection(self, tmp_path):
@@ -661,6 +663,58 @@ class TestCli:
             privlint_main([str(tmp_path), "--rules", "PL999"],
                           out=io.StringIO())
         assert excinfo.value.code == 2
+
+    def test_stale_baseline_exits_two(self, tmp_path):
+        """A baseline entry whose finding was fixed must fail the run."""
+        leaky = tmp_path / "leaky.py"
+        leaky.write_text(LEAKY_MODULE)
+        baseline = tmp_path / "baseline.json"
+        assert privlint_main(
+            [str(tmp_path), "--write-baseline", str(baseline)],
+            out=io.StringIO()) == 0
+        leaky.write_text(CLEAN_MODULE)  # the finding is gone, the entry stays
+        out = io.StringIO()
+        assert privlint_main(
+            [str(tmp_path), "--baseline", str(baseline)], out=out) == 2
+        assert "stale baseline" in out.getvalue()
+
+    def test_sarif_output_structure(self, tmp_path):
+        (tmp_path / "leaky.py").write_text(LEAKY_MODULE)
+        out = io.StringIO()
+        assert privlint_main([str(tmp_path), "--format=sarif"], out=out) == 1
+        document = json.loads(out.getvalue())
+        assert document["version"] == "2.1.0"
+        (run,) = document["runs"]
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert "PL003" in rule_ids
+        result = next(r for r in run["results"] if r["ruleId"] == "PL003")
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"].endswith("leaky.py")
+        assert location["region"]["startLine"] == 3
+
+    def test_unused_suppression_reported_by_default(self, tmp_path):
+        (tmp_path / "clean.py").write_text(
+            CLEAN_MODULE.replace(
+                "return x + laplace_noise(1.0 / eps, x.size, rng)",
+                "return x + laplace_noise(1.0 / eps, x.size, rng)"
+                "  # privlint: disable=PL003"))
+        out = io.StringIO()
+        assert privlint_main([str(tmp_path)], out=out) == 1
+        assert "PL100" in out.getvalue()
+        assert privlint_main(
+            [str(tmp_path), "--no-unused-disable"], out=io.StringIO()) == 0
+
+    def test_summary_cache_round_trip(self, tmp_path):
+        (tmp_path / "clean.py").write_text(CLEAN_MODULE)
+        cache = tmp_path / "facts-cache.json"
+        assert privlint_main(
+            [str(tmp_path), "--summary-cache", str(cache)],
+            out=io.StringIO()) == 0
+        stored = json.loads(cache.read_text())
+        assert stored["entries"]  # per-file facts landed on disk
+        assert privlint_main(
+            [str(tmp_path), "--summary-cache", str(cache)],
+            out=io.StringIO()) == 0
 
 
 # -- the repository gates itself -----------------------------------------------------
@@ -676,3 +730,26 @@ class TestSelfCheck:
     def test_committed_baseline_is_empty(self):
         baseline = load_baseline("privlint-baseline.json")
         assert sum(baseline.values()) == 0
+
+    def test_dataflow_over_src_meets_time_budget(self, tmp_path):
+        """Interprocedural analysis of the whole tree: <10s cold, <2s warm."""
+        import time
+
+        from repro.privlint.dataflow import FactsCache, analyze_paths
+
+        cache = tmp_path / "facts-cache.json"
+        start = time.perf_counter()
+        analyze_paths(["src"], cache_path=cache)
+        cold = time.perf_counter() - start
+        assert cold < 10.0, f"cold dataflow run took {cold:.2f}s"
+
+        start = time.perf_counter()
+        analyze_paths(["src"], cache_path=cache)
+        warm = time.perf_counter() - start
+        assert warm < 2.0, f"warm dataflow run took {warm:.2f}s"
+        # The warm run really did come from the cache, not a silent re-parse.
+        store = FactsCache(cache)
+        probe = "src/repro/privlint/__init__.py"
+        from pathlib import Path
+        assert store.get(probe, Path(probe).read_text(encoding="utf-8")) \
+            is not None
